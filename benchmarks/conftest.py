@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  Besides
+the timing pytest-benchmark records, each test writes the reproduced
+rows/series to ``benchmarks/reports/<name>.txt`` so the reproduction can be
+inspected after a run (pytest captures stdout of passing tests), and stores
+headline numbers in ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture
+def report(request):
+    """A writer that persists the reproduced figure/table."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{request.node.name}.txt"
+    lines: list[str] = []
+
+    def write(text: str = "") -> None:
+        lines.append(str(text))
+
+    yield write
+    path.write_text("\n".join(lines) + "\n")

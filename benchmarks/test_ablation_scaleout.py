@@ -1,0 +1,86 @@
+"""Ablation — scaling out verification without enabling double-spending.
+
+§4.6 leaves distributed uniqueness verification as future work but
+sketches the fix: route all cookies of a descriptor through one box.
+This benchmark quantifies both sides on the same workload:
+
+- a descriptor-affine sharded pool grants each cookie exactly once while
+  spreading load across shards;
+- a naive load-balanced pool grants the same cookie once *per shard* —
+  measurable double-spending.
+"""
+
+from repro.core import CookieDescriptor, CookieGenerator, DescriptorStore
+from repro.core.distributed import NaiveVerifierPool, ShardedVerifierPool
+
+SHARDS = 4
+DESCRIPTORS = 200
+COOKIES = 1_000
+REPLAYS_PER_COOKIE = 3
+
+
+def _workload():
+    store = DescriptorStore()
+    descriptors = [
+        store.add(CookieDescriptor.create(service_data="Boost"))
+        for _ in range(DESCRIPTORS)
+    ]
+    generators = [CookieGenerator(d, clock=lambda: 0.0) for d in descriptors]
+    cookies = [generators[i % DESCRIPTORS].generate() for i in range(COOKIES)]
+    return store, cookies
+
+
+def _grants(pool, cookies) -> int:
+    grants = 0
+    for cookie in cookies:
+        for _ in range(1 + REPLAYS_PER_COOKIE):
+            if pool.match(cookie, now=0.0) is not None:
+                grants += 1
+    return grants
+
+
+def test_ablation_scaleout_double_spend(benchmark, report):
+    store, cookies = _workload()
+    sharded = ShardedVerifierPool(store, shards=SHARDS)
+    sharded_grants = benchmark.pedantic(
+        lambda: _grants(ShardedVerifierPool(store, shards=SHARDS), cookies),
+        rounds=1,
+        iterations=1,
+    )
+    _grants(sharded, cookies)
+    naive = NaiveVerifierPool(store, shards=SHARDS)
+    naive_grants = _grants(naive, cookies)
+
+    report(f"{COOKIES} cookies, each replayed {REPLAYS_PER_COOKIE}x, "
+           f"{SHARDS} verifier shards")
+    report(f"  descriptor-affine pool grants: {sharded_grants:,} "
+           f"(exactly one per cookie)")
+    report(f"  naive load-balanced grants:    {naive_grants:,} "
+           f"({naive_grants / COOKIES:.2f} per cookie — double-spending)")
+
+    benchmark.extra_info["sharded_grants"] = sharded_grants
+    benchmark.extra_info["naive_grants"] = naive_grants
+
+    assert sharded_grants == COOKIES
+    # Round-robin over 4 shards with 4 presentations: every presentation
+    # hits a fresh cache, so each cookie is granted SHARDS times.
+    assert naive_grants == COOKIES * SHARDS
+
+
+def test_ablation_scaleout_load_balance(benchmark, report):
+    """Affinity must not defeat the point of scaling out: descriptors
+    spread roughly evenly across shards."""
+    store, cookies = _workload()
+
+    def measure():
+        pool = ShardedVerifierPool(store, shards=SHARDS)
+        per_shard = [0] * SHARDS
+        for cookie in cookies:
+            per_shard[pool.shard_for(cookie)] += 1
+        return per_shard
+
+    per_shard = benchmark(measure)
+    report(f"cookies per shard: {per_shard}")
+    expected = COOKIES / SHARDS
+    for load in per_shard:
+        assert expected * 0.5 < load < expected * 1.6

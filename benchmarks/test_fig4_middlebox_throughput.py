@@ -1,0 +1,105 @@
+"""Fig. 4 — zero-rating middlebox forwarding performance.
+
+Paper (Click + DPDK, one core): line-rate 10 Gb/s at 512-byte packets and
+50-packet flows; performance drops for smaller packets and shorter flows.
+
+Our middlebox is pure Python, so absolute rates are far lower; what must
+(and does) carry over is the *shape*:
+
+- bits/s grows monotonically with packet size at fixed flow length;
+- packets/s grows with packets-per-flow (cookie work amortizes);
+- sustained new-flows/s at the paper's operating point dwarfs the campus
+  trace's published p99 demand of 442 flows/s.
+"""
+
+import pytest
+
+from repro.experiments import run_point
+from repro.trace.stats import ThroughputSample, throughput_report
+
+PACKET_SIZES = (64, 256, 512, 1024, 1500)
+FLOW_LENGTHS = (10, 50, 100)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (size, length): run_point(size, length, descriptors=500, flows=120)
+        for length in FLOW_LENGTHS
+        for size in PACKET_SIZES
+    }
+
+
+def test_fig4_sweep_shape(benchmark, report, sweep):
+    # Re-measure the paper's headline point under pytest-benchmark timing.
+    benchmark.pedantic(
+        lambda: run_point(512, 50, descriptors=500, flows=120),
+        rounds=3,
+        iterations=1,
+    )
+    samples = [point.sample for point in sweep.values()]
+    report("Fig. 4 — matching performance (pure-Python middlebox)")
+    report(throughput_report(samples))
+
+    headline = sweep[(512, 50)].sample
+    benchmark.extra_info["pps_at_512B_50ppf"] = round(headline.packets_per_second)
+    benchmark.extra_info["gbps_at_512B_50ppf"] = round(headline.gbps, 4)
+    benchmark.extra_info["new_flows_per_s"] = round(headline.new_flows_per_second)
+
+    # Shape: Gb/s monotone-ish in packet size for each flow length
+    # (allowing small measurement jitter between adjacent sizes).
+    for length in FLOW_LENGTHS:
+        series = [sweep[(size, length)].sample.gbps for size in PACKET_SIZES]
+        assert series[-1] > series[0] * 5, series
+        for first, second in zip(series, series[2:]):
+            assert second > first, series
+
+    # Shape: packets/s grows with flow length.  Per-packet cost is nearly
+    # size-independent, so take each flow length's median pps across
+    # packet sizes to be robust to one noisy measurement.
+    import statistics
+
+    pps = [
+        statistics.median(
+            sweep[(size, length)].sample.packets_per_second
+            for size in PACKET_SIZES
+        )
+        for length in FLOW_LENGTHS
+    ]
+    assert pps[1] > pps[0]
+    assert pps[2] >= pps[1] * 0.9  # amortization saturates
+
+    # Capacity versus the campus trace's published demand.
+    assert headline.new_flows_per_second > 442
+
+
+def test_fig4_descriptor_table_size_does_not_hurt(benchmark, report):
+    """Paper runs with 100 K descriptors: verification is a hash lookup,
+    so the table size must not change per-packet cost materially.
+
+    Each configuration is measured three times and compared by its best
+    run — single measurements of a ~50 ms region are too noisy under a
+    loaded benchmark suite.
+    """
+    small_pps = max(
+        run_point(512, 50, descriptors=100, flows=200).sample.packets_per_second
+        for _ in range(3)
+    )
+    large = benchmark.pedantic(
+        lambda: run_point(512, 50, descriptors=20_000, flows=200),
+        rounds=1,
+        iterations=1,
+    )
+    large_pps = max(
+        [large.sample.packets_per_second]
+        + [
+            run_point(
+                512, 50, descriptors=20_000, flows=200
+            ).sample.packets_per_second
+            for _ in range(2)
+        ]
+    )
+    report("descriptor-table ablation (best-of-3 pps at 512 B / 50 ppf)")
+    report(f"  100 descriptors:    {small_pps:,.0f}")
+    report(f"  20_000 descriptors: {large_pps:,.0f}")
+    assert large_pps > small_pps * 0.5

@@ -1,0 +1,67 @@
+"""§2 — how little of what users want do curated programs cover?
+
+Paper: "Wikipedia Zero covers only 0.4% of our users' preferences, and
+Music Freedom just 11.5%"; Music Freedom worked with 17 of 51 music apps
+named in the survey and included 44 of >2500 licensed stations.
+"""
+
+import pytest
+
+from repro.study import (
+    LICENSED_STATIONS,
+    MUSIC_FREEDOM_STATIONS,
+    ZeroRatingSurvey,
+    analyze_coverage,
+)
+
+
+def test_sec2_program_coverage(benchmark, report):
+    def run():
+        survey = ZeroRatingSurvey(seed=2015).run()
+        return survey, analyze_coverage(survey)
+
+    _survey, coverage = benchmark(run)
+
+    report("§2 — curated zero-rating coverage of surveyed preferences")
+    for program, fraction in sorted(coverage.program_coverage.items()):
+        report(f"  {program:<18}{fraction:>8.1%}")
+    report(f"  nDPI app coverage     "
+           f"{coverage.ndpi_known_apps}/{coverage.total_apps} (paper: 23/106)")
+    report(f"  MF music apps         "
+           f"{coverage.music_survey_covered}/{coverage.music_survey_total} "
+           f"(paper: 17/51)")
+    report(f"  MF licensed stations  "
+           f"{MUSIC_FREEDOM_STATIONS}/{LICENSED_STATIONS} (paper: 44/2500)")
+
+    benchmark.extra_info.update(
+        {k: round(v, 4) for k, v in coverage.program_coverage.items()}
+    )
+
+    assert coverage.program_coverage["Wikipedia Zero"] == pytest.approx(
+        0.004, abs=0.006
+    )
+    assert coverage.program_coverage["Music Freedom"] == pytest.approx(
+        0.115, abs=0.04
+    )
+    assert (coverage.ndpi_known_apps, coverage.total_apps) == (23, 106)
+    assert (coverage.music_survey_covered, coverage.music_survey_total) == (17, 51)
+
+
+def test_sec2_shortlists_cannot_cover_the_tail(benchmark, report):
+    """Ablation of curation breadth: even a 20-app shortlist leaves a
+    third of preferences unserved."""
+    from repro.analysis import head_coverage
+
+    def run():
+        survey = ZeroRatingSurvey(seed=2015).run()
+        return {
+            size: head_coverage(survey.choices, size)
+            for size in (1, 5, 10, 20, 50)
+        }
+
+    curve = benchmark(run)
+    report("shortlist size -> preference coverage")
+    for size, fraction in curve.items():
+        report(f"  top {size:>3}: {fraction:.1%}")
+    assert curve[1] < 0.15
+    assert curve[20] < 0.80

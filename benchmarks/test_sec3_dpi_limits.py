@@ -1,0 +1,38 @@
+"""§3 — why DPI cannot express user preferences.
+
+Paper: loading cnn.com generates 255 flows / 6741 packets / 71 servers;
+only 605 packets (<10 %) come from CNN-operated servers; nDPI recognizes
+23 of the survey's 106 applications.
+"""
+
+import pytest
+
+from repro.experiments import run_sec3
+
+
+def test_sec3_dpi_limitations(benchmark, report):
+    result = benchmark(run_sec3)
+
+    report("§3 — DPI against the cnn.com front page")
+    for key, value in result.summary().items():
+        report(f"  {key}: {value}")
+
+    benchmark.extra_info["cnn_server_fraction"] = round(
+        result.cnn_server_fraction, 4
+    )
+    benchmark.extra_info["ndpi_marked_fraction"] = round(
+        result.ndpi_marked_fraction, 4
+    )
+
+    # Page structure matches the paper exactly.
+    assert (result.cnn_flows, result.cnn_packets, result.cnn_servers) == (
+        255, 6741, 71,
+    )
+    # "605 packets (less than 10%)".
+    assert result.packets_from_cnn_servers == 605
+    assert result.cnn_server_fraction < 0.10
+    # Fig. 6's SNI-based marking: ~18 %.
+    assert result.ndpi_marked_fraction == pytest.approx(0.18, abs=0.02)
+    # Rule-base coverage of the survey's applications.
+    assert (result.ndpi_known_survey_apps, result.survey_apps_total) == (23, 106)
+    assert (result.music_freedom_covered, result.music_survey_apps) == (17, 51)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Application-assisted boosting: a video player saves its own playback.
+
+The paper's motivating micro-scenario: "a video application could ask for
+a short burst of high bandwidth when it runs low on buffers (and risks
+rebuffering)".  Here a 3 Mb/s stream shares a 6 Mb/s home line with three
+bulk downloads.  Without help it starves and stalls repeatedly.  With a
+buffer-low trigger wired to the Boost agent, the player requests the fast
+lane only when it is about to stall — user-consented, application-timed.
+
+Run:  python examples/video_rebuffering.py
+"""
+
+from repro.core import CookieGenerator, DescriptorStore
+from repro.core.transport import default_registry
+from repro.netsim.events import EventLoop
+from repro.netsim.middlebox import FunctionElement
+from repro.netsim.tcpmodel import TcpTransfer
+from repro.netsim.topology import HomeNetwork, HomeNetworkConfig
+from repro.services.boost import BOOST_SERVICE, BoostDaemon, make_boost_server
+from repro.services.video import PlaybackStats, VideoPlayer
+
+
+def watch_movie(with_boost: bool) -> PlaybackStats:
+    """Play 30 s of 3 Mb/s video against household bulk traffic."""
+    loop = EventLoop()
+    server, _db = make_boost_server(clock=lambda: loop.now)
+    store = DescriptorStore()
+    server.attach_enforcement_store(store)
+    daemon = BoostDaemon(loop, store)
+    home = HomeNetwork(loop, config=HomeNetworkConfig(),
+                       middleboxes=[daemon.switch])
+    daemon.attach(home)
+
+    # The rest of the household: three long bulk downloads.
+    for i in range(3):
+        TcpTransfer(
+            loop, home.wan_ingress, size_bytes=50_000_000,
+            src_ip=f"203.0.113.{30 + i}", dst_ip="192.168.1.101",
+            dst_port=40_000 + i,
+        ).start()
+
+    # The player's boost trigger: acquire a descriptor once and arm a
+    # cookie tagger for the video's subsequent chunks.
+    registry = default_registry()
+    descriptor = server.acquire("resident", BOOST_SERVICE)
+    generator = CookieGenerator(descriptor, clock=lambda: loop.now)
+    armed = [False]
+
+    def tag(packet):
+        if (armed[0] and packet.meta.get("video")
+                and packet.meta.get("segment", 99) < 2):
+            registry.attach(packet, generator.generate())
+        return packet
+
+    tagger = FunctionElement(tag, name="video-cookie-tagger")
+    tagger >> home.wan_ingress
+
+    def buffer_low_trigger() -> bool:
+        armed[0] = True
+        return True
+
+    player = VideoPlayer(
+        loop, tagger,
+        duration_seconds=30.0, bitrate_bps=3_000_000.0,
+        boost_trigger=buffer_low_trigger if with_boost else None,
+        transfer_meta={"video": True},
+    )
+    player.start()
+    loop.run(until=300.0)
+    return player.stats
+
+
+def main() -> None:
+    print("30 s of 3 Mb/s video on a 6 Mb/s line with 3 bulk downloads\n")
+    print(f"{'':<22}{'plain':>12}{'buffer-boost':>14}")
+    plain = watch_movie(with_boost=False)
+    boosted = watch_movie(with_boost=True)
+    rows = [
+        ("rebuffer events", plain.rebuffer_events, boosted.rebuffer_events),
+        ("seconds stalled", f"{plain.rebuffer_seconds:.1f}",
+         f"{boosted.rebuffer_seconds:.1f}"),
+        ("startup delay (s)", f"{plain.startup_delay:.1f}",
+         f"{boosted.startup_delay:.1f}"),
+        ("wall time to finish (s)", f"{plain.finished_at:.1f}",
+         f"{boosted.finished_at:.1f}"),
+        ("boost requests", plain.boost_requests, boosted.boost_requests),
+    ]
+    for label, a, b in rows:
+        print(f"{label:<22}{a!s:>12}{b!s:>14}")
+    print("\nOne application-timed boost request turned an unwatchable "
+          "stream into a smooth one —")
+    print("and the user (not the ISP, not the content provider) authorized it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A carrier zero-rating service built on cookies, end to end.
+
+A cellular operator lets each subscriber pick ONE application to zero-rate
+— the service 65 % of the paper's survey respondents wanted.  Unlike
+Music Freedom's curated shortlist, *any* application works: the subscriber
+just gives its client her descriptor.
+
+The script runs the whole pipeline: authenticated descriptor acquisition,
+cookie-tagged flows through the two-counter middlebox, a flow of a
+different app counted against the cap, the monthly invoice, and the audit
+trail a regulator would inspect.  It closes by scoring real curated
+programs against simulated user demand (§2's coverage numbers).
+
+Run:  python examples/zero_rating_carrier.py
+"""
+
+from repro.core import (
+    AuthenticatedUsersPolicy,
+    CookieMatcher,
+    CookieServer,
+    DescriptorStore,
+    ServiceOffering,
+    UserAgent,
+)
+from repro.netsim.appmsg import TLSClientHello
+from repro.netsim.packet import make_tcp_packet
+from repro.services.zerorate import AccountingLedger, BillingPlan, ZeroRatingMiddlebox
+from repro.study import ZeroRatingSurvey, analyze_coverage
+
+
+def main() -> None:
+    clock_value = [0.0]
+    clock = lambda: clock_value[0]  # noqa: E731
+
+    # The carrier authenticates subscribers before issuing descriptors.
+    server = CookieServer(
+        clock=clock,
+        policy=AuthenticatedUsersPolicy(accounts={"sub-4471": "pin1234"}),
+    )
+    server.offer(
+        ServiceOffering(
+            name="pick-your-app",
+            description="zero-rate any one application of your choice",
+            lifetime=30 * 86400.0,
+            service_data="zero-rate",
+        )
+    )
+    store = DescriptorStore()
+    server.attach_enforcement_store(store)
+
+    subscriber = UserAgent(
+        "sub-4471", clock=clock, channel=server.handle_request,
+        credentials={"secret": "pin1234"},
+    )
+    subscriber.acquire("pick-your-app")
+    print("subscriber sub-4471 zero-rates her pick: an obscure web radio\n")
+
+    middlebox = ZeroRatingMiddlebox(CookieMatcher(store), clock=clock)
+
+    # Her radio app tags its flows; note the carrier never learns WHICH
+    # app this is — the SNI below could be anything, even absent.
+    radio_first = make_tcp_packet(
+        "10.20.0.7", 40_001, "185.33.10.9", 443,
+        content=TLSClientHello(sni="stream.tiny-radio.example"),
+        payload_size=250,
+    )
+    subscriber.insert_cookie(radio_first, "pick-your-app")
+    middlebox.handle(radio_first)
+    for _ in range(200):
+        middlebox.handle(make_tcp_packet(
+            "185.33.10.9", 443, "10.20.0.7", 40_001, payload_size=1400,
+        ))
+
+    # Everything else counts against the cap.
+    for _ in range(120):
+        middlebox.handle(make_tcp_packet(
+            "104.16.1.1", 443, "10.20.0.7", 40_002, payload_size=1400,
+        ))
+
+    counters = middlebox.counters_for("10.20.0.7")
+    print(f"free bytes:    {counters.free_bytes:>10,}")
+    print(f"charged bytes: {counters.charged_bytes:>10,}")
+    print(f"zero-rated fraction: {counters.free_fraction:.0%}\n")
+
+    ledger = AccountingLedger(BillingPlan(monthly_cap_bytes=200_000))
+    invoice = ledger.invoice("10.20.0.7", counters)
+    print(f"invoice: base ${invoice.base_price:.2f} + overage "
+          f"${invoice.overage:.2f} = ${invoice.total:.2f}")
+    print(f"(cap used: {invoice.cap_used_fraction:.0%} — the radio stream "
+          f"never touched it)\n")
+
+    print("regulator's view (who got descriptors, ever):")
+    print(" ", server.audit_log.regulator_report()["services"])
+
+    # Why this beats curated programs: §2's coverage numbers.
+    survey = ZeroRatingSurvey(seed=2015).run()
+    coverage = analyze_coverage(survey)
+    print("\ncurated programs vs. what surveyed users actually want:")
+    for program, fraction in sorted(coverage.program_coverage.items()):
+        print(f"  {program:<18}{fraction:>7.1%} of preferences covered")
+    print("  cookies            100.0% (any app the user names)")
+
+
+if __name__ == "__main__":
+    main()

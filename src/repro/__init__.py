@@ -1,0 +1,10 @@
+"""Reproduction of "Neutral Net Neutrality" (SIGCOMM 2016).
+
+Network cookies — a policy-free mechanism for users to express traffic
+preferences to the network — plus the Boost fast-lane, zero-rating and
+AnyLink services built on them, the DPI / DiffServ / out-of-band baselines
+the paper compares against, and the user-study and trace workloads that
+drive every table and figure in the evaluation.
+"""
+
+__version__ = "1.0.0"

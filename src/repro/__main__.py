@@ -1,0 +1,160 @@
+"""Command-line entry point: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig1                 # the 161-home preference study
+    python -m repro fig2                 # the 1000-user survey
+    python -m repro fig4 [--quick]      # middlebox throughput sweep
+    python -m repro fig5b [--trials N]  # Boost FCT CDFs
+    python -m repro fig6                 # matching accuracy grid
+    python -m repro table1               # the property matrix
+    python -m repro sec3                 # DPI limitations on cnn.com
+    python -m repro sec46 [--scale S]   # campus trace replay
+
+Benchmarks (`pytest benchmarks/ --benchmark-only`) assert the shapes; this
+runner just prints them for a human.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_fig1(_args) -> None:
+    from repro.study import BoostStudy
+
+    result = BoostStudy(seed=2016).run()
+    print("Fig. 1 — boosted websites across 400 offered homes")
+    for key, value in result.summary().items():
+        print(f"  {key}: {value}")
+    print(f"\n{'site':<28}{'homes':>6}{'rank':>8}")
+    for domain, homes, rank in result.figure1_rows():
+        if not domain.startswith("tail-site-"):
+            print(f"{domain:<28}{homes:>6}{rank:>8}")
+
+
+def _cmd_fig2(_args) -> None:
+    from repro.study import ZeroRatingSurvey, analyze_coverage
+
+    result = ZeroRatingSurvey(seed=2015).run()
+    print("Fig. 2 — zero-rating survey")
+    for key, value in result.summary().items():
+        print(f"  {key}: {value}")
+    print(f"\n{'app':<22}{'users':>6}")
+    for name, count in result.figure2_bars(limit=20):
+        print(f"{name:<22}{count:>6}")
+    print("\n§2 coverage of curated programs:")
+    for program, fraction in analyze_coverage(result).program_coverage.items():
+        print(f"  {program:<18}{fraction:>7.1%}")
+
+
+def _cmd_fig4(args) -> None:
+    from repro.experiments import run_sweep
+    from repro.trace.stats import throughput_report
+
+    flows = 60 if args.quick else 200
+    descriptors = 200 if args.quick else 2000
+    points = run_sweep(flows=flows, descriptors=descriptors)
+    print("Fig. 4 — middlebox matching performance (pure Python)")
+    print(throughput_report([p.sample for p in points]))
+
+
+def _cmd_fig5b(args) -> None:
+    from repro.experiments import run_fig5b
+
+    result = run_fig5b(trials=args.trials, seed=100)
+    print(f"Fig. 5(b) — 300 KB flow completion time ({args.trials} trials/class)")
+    print(f"{'class':<14}{'median':>8}{'p90':>8}{'min':>8}{'max':>8}")
+    for name, stats in result.summary().items():
+        print(f"{name:<14}{stats['median_s']:>7.2f}s{stats['p90_s']:>7.2f}s"
+              f"{stats['min_s']:>7.2f}s{stats['max_s']:>7.2f}s")
+
+
+def _cmd_fig6(_args) -> None:
+    from repro.experiments import TARGET_SITES, run_all_targets
+
+    grid = run_all_targets()
+    print("Fig. 6 — matching accuracy")
+    print(f"{'target':<14}{'mechanism':<12}{'matched':>9}{'false/marked':>14}")
+    for target in TARGET_SITES:
+        for mechanism, result in grid[target].items():
+            print(f"{target:<14}{mechanism:<12}"
+                  f"{result.matched_fraction:>8.1%}"
+                  f"{result.false_fraction_of_marked:>13.1%}")
+
+
+def _cmd_table1(_args) -> None:
+    from repro.baselines import format_table1
+
+    print("Table 1 — mechanism property matrix")
+    print(format_table1())
+
+
+def _cmd_sec3(_args) -> None:
+    from repro.experiments import run_sec3
+
+    print("§3 — DPI limitations")
+    for key, value in run_sec3().summary().items():
+        print(f"  {key}: {value}")
+
+
+def _cmd_sec46(args) -> None:
+    from repro.experiments import run_sec46
+
+    print(f"§4.6 — campus trace replay (scale={args.scale})")
+    for key, value in run_sec46(scale=args.scale).summary().items():
+        print(f"  {key}: {value}")
+
+
+COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "fig5b": _cmd_fig5b,
+    "fig6": _cmd_fig6,
+    "table1": _cmd_table1,
+    "sec3": _cmd_sec3,
+    "sec46": _cmd_sec46,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate results from 'Neutral Net Neutrality' "
+                    "(SIGCOMM 2016).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list regenerable results")
+    sub.add_parser("fig1", help="161-home Boost preference study")
+    sub.add_parser("fig2", help="1000-user zero-rating survey + §2 coverage")
+    fig4 = sub.add_parser("fig4", help="middlebox throughput sweep")
+    fig4.add_argument("--quick", action="store_true",
+                      help="smaller sweep for a fast look")
+    fig5b = sub.add_parser("fig5b", help="Boost flow-completion-time CDFs")
+    fig5b.add_argument("--trials", type=int, default=8)
+    sub.add_parser("fig6", help="matching accuracy: cookies vs nDPI vs OOB")
+    sub.add_parser("table1", help="mechanism property matrix")
+    sub.add_parser("sec3", help="DPI limitations on cnn.com")
+    sec46 = sub.add_parser("sec46", help="campus trace replay")
+    sec46.add_argument("--scale", type=float, default=0.0004)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("regenerable results:")
+        for name, func in COMMANDS.items():
+            print(f"  {name:<8} {func.__doc__ or ''}".rstrip())
+        print("\nrun: python -m repro <name>")
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The mechanisms the paper compares cookies against: DPI, DiffServ, and
+out-of-band SDN flow descriptions, plus the Table-1 property matrix."""
+
+from .comparison import MECHANISMS, PAPER_TABLE1, evaluate_table1, format_table1
+from .diffserv import (
+    BoundaryRemarker,
+    DscpClassTable,
+    DscpEnforcer,
+    EndpointMarker,
+    OpportunisticMarker,
+)
+from .dpi import DpiBooster, DpiEngine, DpiStats
+from .dpi_rules import NDPI_KNOWN_APPS, DpiRule, default_rule_db
+from .oob import FlowDescription, OobController, OobStats, OobSwitch
+
+__all__ = [
+    "MECHANISMS",
+    "PAPER_TABLE1",
+    "evaluate_table1",
+    "format_table1",
+    "BoundaryRemarker",
+    "DscpClassTable",
+    "DscpEnforcer",
+    "EndpointMarker",
+    "OpportunisticMarker",
+    "DpiBooster",
+    "DpiEngine",
+    "DpiStats",
+    "NDPI_KNOWN_APPS",
+    "DpiRule",
+    "default_rule_db",
+    "FlowDescription",
+    "OobController",
+    "OobStats",
+    "OobSwitch",
+]

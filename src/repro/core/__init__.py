@@ -1,0 +1,139 @@
+"""Network cookies: the paper's primary contribution.
+
+Control plane: :class:`CookieServer` advertises services and issues
+:class:`CookieDescriptor` objects under a pluggable :class:`AccessPolicy`,
+with every grant recorded in an :class:`AuditLog`.  Clients
+(:class:`UserAgent`) acquire descriptors out-of-band and locally mint
+single-use, HMAC-signed :class:`Cookie` tokens.
+
+Data plane: cookies ride in-band over any registered transport
+(HTTP header, TLS extension, IPv6 extension header, TCP option, UDP shim);
+a :class:`CookieSwitch` verifies them (signature, coherency time, replay)
+via :class:`CookieMatcher` and binds flows to services.
+"""
+
+from .attributes import CookieAttributes, Granularity
+from .audit import AuditEvent, AuditLog, AuditRecord
+from .client import AgentStats, UserAgent
+from .cookie import (
+    COOKIE_WIRE_BYTES,
+    SIGNATURE_BYTES,
+    UUID_BYTES,
+    Cookie,
+    sign_cookie_fields,
+)
+from .delegation import DelegatedParty, delegate_descriptor, make_ack_cookie
+from .descriptor import COOKIE_ID_BITS, CookieDescriptor
+from .distributed import NaiveVerifierPool, PoolStats, ShardedVerifierPool
+from .discovery import (
+    DHCP_COOKIE_SERVER_OPTION,
+    DhcpDiscovery,
+    Directory,
+    HardcodedDiscovery,
+    MdnsDiscovery,
+    ServerRecord,
+)
+from .errors import (
+    AcquisitionDenied,
+    CookieError,
+    DelegationError,
+    DescriptorExpired,
+    DescriptorRevoked,
+    InvalidSignature,
+    MalformedCookie,
+    ReplayDetected,
+    StaleTimestamp,
+    TransportError,
+    UnknownDescriptor,
+)
+from .generator import CookieGenerator
+from .matcher import NETWORK_COHERENCY_TIME, CookieMatcher, MatchStats, ReplayCache
+from .netserver import AsyncCookieServer, CookieClient, request_over_tcp
+from .offload import HardwarePrefilter, PrefilterStats
+from .policy import (
+    AccessPolicy,
+    AcquisitionRequest,
+    AllOfPolicy,
+    AuthenticatedUsersPolicy,
+    OpenAccessPolicy,
+    PrepaidPolicy,
+    QuotaPolicy,
+    ServiceWhitelistPolicy,
+)
+from .server import CookieServer, ServiceOffering
+from .store import DescriptorStore, SQLiteDescriptorStore
+from .switch import (
+    FAST_LANE_CLASS,
+    CookieSwitch,
+    DscpServiceApplier,
+    SwitchStats,
+)
+from .transport import TransportRegistry, default_registry
+
+__all__ = [
+    "CookieAttributes",
+    "Granularity",
+    "AuditEvent",
+    "AuditLog",
+    "AuditRecord",
+    "AgentStats",
+    "UserAgent",
+    "COOKIE_WIRE_BYTES",
+    "SIGNATURE_BYTES",
+    "UUID_BYTES",
+    "Cookie",
+    "sign_cookie_fields",
+    "DelegatedParty",
+    "delegate_descriptor",
+    "make_ack_cookie",
+    "COOKIE_ID_BITS",
+    "CookieDescriptor",
+    "NaiveVerifierPool",
+    "PoolStats",
+    "ShardedVerifierPool",
+    "DHCP_COOKIE_SERVER_OPTION",
+    "DhcpDiscovery",
+    "Directory",
+    "HardcodedDiscovery",
+    "MdnsDiscovery",
+    "ServerRecord",
+    "AcquisitionDenied",
+    "CookieError",
+    "DelegationError",
+    "DescriptorExpired",
+    "DescriptorRevoked",
+    "InvalidSignature",
+    "MalformedCookie",
+    "ReplayDetected",
+    "StaleTimestamp",
+    "TransportError",
+    "UnknownDescriptor",
+    "CookieGenerator",
+    "NETWORK_COHERENCY_TIME",
+    "CookieMatcher",
+    "MatchStats",
+    "ReplayCache",
+    "AsyncCookieServer",
+    "CookieClient",
+    "request_over_tcp",
+    "HardwarePrefilter",
+    "PrefilterStats",
+    "AccessPolicy",
+    "AcquisitionRequest",
+    "AllOfPolicy",
+    "AuthenticatedUsersPolicy",
+    "OpenAccessPolicy",
+    "PrepaidPolicy",
+    "QuotaPolicy",
+    "ServiceWhitelistPolicy",
+    "CookieServer",
+    "ServiceOffering",
+    "DescriptorStore",
+    "SQLiteDescriptorStore",
+    "FAST_LANE_CLASS",
+    "CookieSwitch",
+    "DscpServiceApplier",
+    "SwitchStats",
+    "TransportRegistry",
+    "default_registry",
+]

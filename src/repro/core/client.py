@@ -1,0 +1,181 @@
+"""The user agent (§4.2, component 1).
+
+The agent is the user's representative: it discovers the cookie server,
+acquires and caches descriptors, renews them as they expire, and inserts
+cookies into outgoing packets using whatever transport fits.  GUIs (the
+Boost browser extension) sit on top of this class; it holds no policy about
+*which* traffic deserves a cookie — that is the preference layer's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..netsim.packet import Packet
+from .cookie import Cookie
+from .descriptor import CookieDescriptor
+from .errors import AcquisitionDenied, CookieError, TransportError
+from .generator import CookieGenerator
+from .transport.registry import TransportRegistry, default_registry
+
+__all__ = ["UserAgent", "AgentStats"]
+
+RequestChannel = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+@dataclass
+class AgentStats:
+    """Counters for one agent's cookie activity."""
+
+    descriptors_acquired: int = 0
+    descriptors_renewed: int = 0
+    cookies_inserted: int = 0
+    insertions_failed: int = 0
+    by_transport: dict[str, int] = field(default_factory=dict)
+
+
+class UserAgent:
+    """Acquires descriptors over a request channel and tags packets.
+
+    ``channel`` abstracts the out-of-band path to the cookie server: for
+    simulations it is ``server.handle_request`` directly; for the live
+    prototype it is an :class:`repro.core.netserver.CookieClient` call.
+    Descriptors are cached per service and renewed automatically when a
+    generator reports expiry.
+    """
+
+    def __init__(
+        self,
+        user: str,
+        clock: Callable[[], float],
+        channel: RequestChannel,
+        registry: TransportRegistry | None = None,
+        credentials: dict[str, Any] | None = None,
+    ) -> None:
+        self.user = user
+        self.clock = clock
+        self.channel = channel
+        self.registry = registry or default_registry()
+        self.credentials = dict(credentials or {})
+        self.stats = AgentStats()
+        #: Invoked with the service name when a delivery-guaranteed
+        #: response arrives without the network's acknowledgment cookie —
+        #: the hook a UI uses to warn "you may be getting best effort".
+        self.on_missing_ack: Callable[[str], None] | None = None
+        self._generators: dict[str, CookieGenerator] = {}
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def discover_services(self) -> list[dict[str, Any]]:
+        """Ask the server what it offers."""
+        response = self.channel({"op": "list_services"})
+        if not response.get("ok"):
+            raise AcquisitionDenied(response.get("error", "discovery failed"))
+        return list(response.get("services", []))
+
+    def acquire(self, service: str, preferences: dict[str, Any] | None = None) -> CookieDescriptor:
+        """Acquire (or re-acquire) a descriptor for ``service``."""
+        response = self.channel(
+            {
+                "op": "acquire",
+                "user": self.user,
+                "service": service,
+                "credentials": self.credentials,
+                "preferences": preferences or {},
+            }
+        )
+        if not response.get("ok"):
+            raise AcquisitionDenied(response.get("error", "acquisition failed"))
+        descriptor = CookieDescriptor.from_json(response["descriptor"])
+        self._generators[service] = CookieGenerator(descriptor, self.clock)
+        self.stats.descriptors_acquired += 1
+        return descriptor
+
+    def descriptor_for(self, service: str) -> CookieDescriptor | None:
+        generator = self._generators.get(service)
+        return generator.descriptor if generator is not None else None
+
+    def drop_service(self, service: str) -> None:
+        """Forget a service locally — the user-side revocation: "when users
+        want to stop using a service, they just have to stop adding a
+        cookie to their traffic"."""
+        self._generators.pop(service, None)
+
+    def request_revocation(self, service: str) -> bool:
+        """Ask the network to invalidate the descriptor (for traffic the
+        user cannot control, e.g. the legacy console example)."""
+        generator = self._generators.get(service)
+        if generator is None:
+            return False
+        response = self.channel(
+            {
+                "op": "revoke",
+                "user": self.user,
+                "cookie_id": generator.descriptor.cookie_id,
+            }
+        )
+        return bool(response.get("ok"))
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def generate_cookie(self, service: str) -> Cookie:
+        """Mint a cookie, transparently renewing an expired descriptor."""
+        generator = self._generators.get(service)
+        if generator is None:
+            self.acquire(service)
+            generator = self._generators[service]
+        try:
+            return generator.generate()
+        except CookieError:
+            # Descriptor expired or was revoked under us: renew once.
+            self.acquire(service)
+            self.stats.descriptors_renewed += 1
+            return self._generators[service].generate()
+
+    def check_delivery_ack(self, packet: Packet, service: str) -> bool:
+        """Did the network acknowledge acting on our cookies?
+
+        For descriptors with the ``delivery_guarantee`` attribute, the
+        network attaches an acknowledgment cookie (from the same
+        descriptor) to reverse traffic.  Call this on a response packet;
+        it returns True when a valid-looking ack from the service's
+        descriptor is present.  On False the paper's prototype "shows an
+        alert to the user asking whether she wants to continue
+        nevertheless with best effort service" — surface that through
+        :attr:`on_missing_ack` or the return value.
+        """
+        generator = self._generators.get(service)
+        if generator is None:
+            return False
+        descriptor = generator.descriptor
+        for cookie, _carrier in self.registry.extract_all(packet):
+            if cookie.cookie_id == descriptor.cookie_id and cookie.verify_signature(
+                descriptor
+            ):
+                return True
+        if self.on_missing_ack is not None:
+            self.on_missing_ack(service)
+        return False
+
+    def insert_cookie(self, packet: Packet, service: str) -> str | None:
+        """Attach a fresh cookie for ``service`` to the packet.
+
+        Returns the transport used, or None if no carrier fits (the packet
+        then travels uncookied and receives best-effort service).
+        """
+        cookie = self.generate_cookie(service)
+        generator = self._generators[service]
+        allowed = generator.descriptor.attributes.transports
+        try:
+            transport = self.registry.attach(packet, cookie, allowed=allowed)
+        except TransportError:
+            self.stats.insertions_failed += 1
+            return None
+        self.stats.cookies_inserted += 1
+        self.stats.by_transport[transport] = (
+            self.stats.by_transport.get(transport, 0) + 1
+        )
+        return transport

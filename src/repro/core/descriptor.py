@@ -1,0 +1,113 @@
+"""Cookie descriptors (Listing 1 of the paper).
+
+A descriptor is the control-plane object a user acquires from a cookie
+server.  It carries a 64-bit lookup id, the shared HMAC key cookies are
+signed with, opaque ``service_data`` naming the network service, and an
+optional attribute block.  From one descriptor the client locally generates
+many single-use cookies.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Any
+
+from .attributes import CookieAttributes
+
+__all__ = ["CookieDescriptor", "COOKIE_ID_BITS", "DEFAULT_KEY_BYTES"]
+
+COOKIE_ID_BITS = 64
+_COOKIE_ID_MAX = 2**COOKIE_ID_BITS - 1
+DEFAULT_KEY_BYTES = 32
+
+
+@dataclass
+class CookieDescriptor:
+    """The shared state between a cookie issuer and its verifiers.
+
+    ``cookie_id`` identifies the descriptor and acts as the verifier's
+    lookup key; ``key`` signs cookies; ``service_data`` identifies the
+    network service to apply (a plain name like ``"Boost"`` or any richer
+    structure); ``attributes`` qualify when and how cookies may be used.
+    """
+
+    cookie_id: int
+    key: bytes
+    service_data: Any = ""
+    attributes: CookieAttributes = field(default_factory=CookieAttributes)
+    revoked: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cookie_id <= _COOKIE_ID_MAX:
+            raise ValueError(
+                f"cookie_id must fit in {COOKIE_ID_BITS} bits, got {self.cookie_id}"
+            )
+        if not isinstance(self.key, (bytes, bytearray)) or len(self.key) == 0:
+            raise ValueError("descriptor key must be non-empty bytes")
+        self.key = bytes(self.key)
+
+    @classmethod
+    def create(
+        cls,
+        service_data: Any = "",
+        attributes: CookieAttributes | None = None,
+        *,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+    ) -> "CookieDescriptor":
+        """Mint a fresh descriptor with a random id and key."""
+        return cls(
+            cookie_id=secrets.randbits(COOKIE_ID_BITS),
+            key=secrets.token_bytes(key_bytes),
+            service_data=service_data,
+            attributes=attributes or CookieAttributes(),
+        )
+
+    def revoke(self) -> None:
+        """Revoke the descriptor.
+
+        Either party can do this: a user asks the network to invalidate a
+        descriptor she can no longer control, or the network stops matching
+        to withdraw a service.  Verification of cookies from a revoked
+        descriptor fails from this point on.
+        """
+        self.revoked = True
+
+    def is_usable(self, now: float) -> bool:
+        """Neither revoked nor past its expiration attribute."""
+        return not self.revoked and not self.attributes.is_expired(now)
+
+    def to_json(self, include_key: bool = True) -> dict[str, Any]:
+        """Serialize for the acquisition API.
+
+        ``include_key=False`` yields the audit-safe form: regulators can see
+        *who* received *which* descriptor without learning the signing key.
+        """
+        data: dict[str, Any] = {
+            "cookie_id": self.cookie_id,
+            "service_data": self.service_data,
+            "attributes": self.attributes.to_json(),
+            "revoked": self.revoked,
+        }
+        if include_key:
+            data["key"] = self.key.hex()
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CookieDescriptor":
+        """Inverse of :meth:`to_json` (requires the key to be present)."""
+        if "key" not in data:
+            raise ValueError("descriptor JSON lacks the signing key")
+        return cls(
+            cookie_id=int(data["cookie_id"]),
+            key=bytes.fromhex(data["key"]),
+            service_data=data.get("service_data", ""),
+            attributes=CookieAttributes.from_json(data.get("attributes", {})),
+            revoked=bool(data.get("revoked", False)),
+        )
+
+    def __repr__(self) -> str:  # avoid leaking the key in logs
+        return (
+            f"CookieDescriptor(id={self.cookie_id:#018x}, "
+            f"service={self.service_data!r}, revoked={self.revoked})"
+        )

@@ -1,0 +1,95 @@
+"""Service discovery: how clients find the well-known cookie server.
+
+The paper lists three paths — standard discovery protocols (a DHCP option,
+mDNS), hardcoding in the application, and the home-router case where the AP
+learns the server from its ISP's DHCP lease and re-advertises it on the
+LAN.  All three are modelled here over a single :class:`Directory`
+abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ServerRecord",
+    "Directory",
+    "DhcpDiscovery",
+    "MdnsDiscovery",
+    "HardcodedDiscovery",
+    "DHCP_COOKIE_SERVER_OPTION",
+]
+
+# A private-use DHCP option number carrying the cookie-server URL.
+DHCP_COOKIE_SERVER_OPTION = 224
+
+
+@dataclass(frozen=True)
+class ServerRecord:
+    """Where to reach a cookie server and what it claims to offer."""
+
+    url: str
+    network: str = ""
+    services_hint: tuple[str, ...] = ()
+
+
+@dataclass
+class Directory:
+    """The network-side registry that discovery mechanisms consult."""
+
+    records: dict[str, ServerRecord] = field(default_factory=dict)
+
+    def publish(self, network: str, record: ServerRecord) -> None:
+        self.records[network] = record
+
+    def lookup(self, network: str) -> ServerRecord | None:
+        return self.records.get(network)
+
+
+class DhcpDiscovery:
+    """DHCP-lease discovery: the server URL arrives as a lease option.
+
+    ``lease_for`` returns the option map a client on ``network`` would
+    receive; :meth:`discover` is the client-side extraction.
+    """
+
+    def __init__(self, directory: Directory) -> None:
+        self.directory = directory
+
+    def lease_for(self, network: str) -> dict[int, str]:
+        record = self.directory.lookup(network)
+        options: dict[int, str] = {}
+        if record is not None:
+            options[DHCP_COOKIE_SERVER_OPTION] = record.url
+        return options
+
+    def discover(self, network: str) -> ServerRecord | None:
+        options = self.lease_for(network)
+        url = options.get(DHCP_COOKIE_SERVER_OPTION)
+        if url is None:
+            return None
+        return ServerRecord(url=url, network=network)
+
+
+class MdnsDiscovery:
+    """mDNS-style discovery: browse for ``_netcookie._tcp`` on the LAN."""
+
+    SERVICE_TYPE = "_netcookie._tcp"
+
+    def __init__(self, directory: Directory) -> None:
+        self.directory = directory
+
+    def browse(self, network: str) -> list[ServerRecord]:
+        record = self.directory.lookup(network)
+        return [record] if record is not None else []
+
+
+class HardcodedDiscovery:
+    """An application that knows its server a priori (the "Amazon Prime
+    Video might know where to get special Amazon cookies" case)."""
+
+    def __init__(self, record: ServerRecord) -> None:
+        self.record = record
+
+    def discover(self, network: str = "") -> ServerRecord:
+        return self.record

@@ -1,0 +1,134 @@
+"""Distributed uniqueness verification (§4.6's scale-out future work).
+
+"The main challenge to scale out cookies in a distributed deployment
+comes from verifying uniqueness as cookies from the same descriptor might
+appear in different places (a problem known as double-spending in digital
+cash schemes).  We can relax uniqueness verification in certain cases —
+for example an ISP can ensure that all cookies from a specific descriptor
+always go through the same middle-box where uniqueness can be locally
+verified."
+
+This module builds exactly that relaxation:
+
+- :class:`ShardedVerifierPool` — N verifier shards behind a
+  descriptor-affine dispatcher: every cookie of a descriptor lands on the
+  same shard (rendezvous hashing), so local replay caches remain globally
+  sound.
+- :class:`NaiveVerifierPool` — the broken alternative (round-robin over
+  shards with independent caches) used to *demonstrate* double-spending,
+  quantified by the scale-out ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .cookie import Cookie
+from .descriptor import CookieDescriptor
+from .matcher import NETWORK_COHERENCY_TIME, CookieMatcher
+from .store import DescriptorStore
+
+__all__ = ["ShardedVerifierPool", "NaiveVerifierPool", "PoolStats"]
+
+
+@dataclass
+class PoolStats:
+    """Aggregate outcome counters across a pool."""
+
+    accepted: int = 0
+    rejected: int = 0
+    double_spends_granted: int = 0  # populated by test harnesses
+
+
+class _VerifierPoolBase:
+    """Common plumbing: N shards sharing one descriptor store.
+
+    Sharing the store models the control plane pushing every descriptor
+    to every box; only the *replay caches* are local per shard, which is
+    where the double-spend question lives.
+    """
+
+    def __init__(
+        self,
+        store: DescriptorStore,
+        shards: int,
+        nct: float = NETWORK_COHERENCY_TIME,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.store = store
+        self.shards = [CookieMatcher(store, nct=nct) for _ in range(shards)]
+        self.stats = PoolStats()
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, cookie: Cookie) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def match(self, cookie: Cookie, now: float) -> CookieDescriptor | None:
+        """Verify on whichever shard the dispatcher picks."""
+        shard = self.shards[self.shard_for(cookie)]
+        descriptor = shard.match(cookie, now)
+        if descriptor is None:
+            self.stats.rejected += 1
+        else:
+            self.stats.accepted += 1
+        return descriptor
+
+
+class ShardedVerifierPool(_VerifierPoolBase):
+    """Descriptor-affine dispatch: uniqueness stays locally verifiable.
+
+    Rendezvous (highest-random-weight) hashing maps each descriptor id to
+    one shard, so replaying a cookie anywhere in the pool always revisits
+    the shard that saw it first.  Rendezvous keeps (shards-1)/shards of
+    assignments stable when a shard is added or removed — relevant for an
+    NFV pool that scales with load.
+    """
+
+    def shard_for(self, cookie: Cookie) -> int:
+        best_shard = 0
+        best_weight = -1
+        for index in range(self.shard_count):
+            digest = hashlib.blake2b(
+                cookie.cookie_id.to_bytes(8, "big") + index.to_bytes(4, "big"),
+                digest_size=8,
+            ).digest()
+            weight = int.from_bytes(digest, "big")
+            if weight > best_weight:
+                best_weight = weight
+                best_shard = index
+        return best_shard
+
+    def shard_for_descriptor(self, descriptor: CookieDescriptor) -> int:
+        """Where this descriptor's cookies will always land (for
+        provisioning, e.g. steering its flows to that box)."""
+        probe = Cookie(
+            cookie_id=descriptor.cookie_id,
+            uuid=b"\x00" * 16,
+            timestamp=0.0,
+            signature=b"\x00" * 16,
+        )
+        return self.shard_for(probe)
+
+
+class NaiveVerifierPool(_VerifierPoolBase):
+    """Load-balanced dispatch with NO descriptor affinity.
+
+    Each shard keeps an independent replay cache, so the same cookie can
+    be "spent" once per shard — up to ``shard_count`` grants for one
+    cookie.  Exists to make the double-spend risk measurable; do not
+    deploy.
+    """
+
+    def __init__(self, store: DescriptorStore, shards: int, nct: float = NETWORK_COHERENCY_TIME) -> None:
+        super().__init__(store, shards, nct=nct)
+        self._cursor = 0
+
+    def shard_for(self, cookie: Cookie) -> int:
+        shard = self._cursor
+        self._cursor = (self._cursor + 1) % self.shard_count
+        return shard

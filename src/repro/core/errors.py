@@ -1,0 +1,71 @@
+"""Exception hierarchy for the network-cookie core.
+
+Every failure mode a verifier can hit maps to a distinct exception so that
+callers (and tests) can distinguish, e.g., a replayed cookie from a stale
+one.  All inherit from :class:`CookieError`.
+
+The paper requires graceful failure — "when the network fails to match or
+verify a cookie, it can default to best-effort services" — so matchers catch
+these internally and count them rather than letting them propagate into the
+data path.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CookieError",
+    "MalformedCookie",
+    "UnknownDescriptor",
+    "InvalidSignature",
+    "StaleTimestamp",
+    "ReplayDetected",
+    "DescriptorExpired",
+    "DescriptorRevoked",
+    "AcquisitionDenied",
+    "TransportError",
+    "DelegationError",
+]
+
+
+class CookieError(Exception):
+    """Base class for all cookie-layer errors."""
+
+
+class MalformedCookie(CookieError):
+    """The cookie bytes could not be parsed."""
+
+
+class UnknownDescriptor(CookieError):
+    """The cookie references a descriptor id the verifier does not know."""
+
+
+class InvalidSignature(CookieError):
+    """The HMAC digest does not verify under the descriptor key."""
+
+
+class StaleTimestamp(CookieError):
+    """The cookie timestamp is outside the network coherency time window."""
+
+
+class ReplayDetected(CookieError):
+    """This cookie uuid has already been seen within the coherency window."""
+
+
+class DescriptorExpired(CookieError):
+    """The descriptor's expiration attribute has passed."""
+
+
+class DescriptorRevoked(CookieError):
+    """The descriptor was explicitly revoked by the user or the network."""
+
+
+class AcquisitionDenied(CookieError):
+    """The cookie server's access policy refused to issue a descriptor."""
+
+
+class TransportError(CookieError):
+    """A cookie could not be attached to or extracted from a packet."""
+
+
+class DelegationError(CookieError):
+    """A delegation operation violated the descriptor's attributes."""

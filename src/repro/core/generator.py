@@ -1,0 +1,72 @@
+"""Local cookie generation (the client half of Listing 3).
+
+Generation is cheap and local: read the clock, draw a fresh uuid, HMAC the
+three fields under the descriptor key.  The network never participates,
+which is the point — only *descriptor* acquisition touches the control
+plane.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Callable
+
+from .cookie import Cookie, UUID_BYTES, sign_cookie_fields
+from .descriptor import CookieDescriptor
+from .errors import DescriptorExpired, DescriptorRevoked
+
+__all__ = ["CookieGenerator"]
+
+
+class CookieGenerator:
+    """Generates single-use cookies from one descriptor.
+
+    ``clock`` supplies the current time; in simulations it is bound to the
+    event loop (``lambda: loop.now``) so that cookie timestamps and the
+    verifier's coherency-time check share one clock.  ``rng`` may be
+    replaced for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        descriptor: CookieDescriptor,
+        clock: Callable[[], float],
+        rng: Callable[[int], bytes] = secrets.token_bytes,
+    ) -> None:
+        self.descriptor = descriptor
+        self.clock = clock
+        self.rng = rng
+        self.generated_count = 0
+
+    def generate(self) -> Cookie:
+        """Mint one cookie; raises if the descriptor is no longer usable.
+
+        Raising here (rather than silently minting a doomed cookie) gives
+        user agents the signal to renew the descriptor, per the paper's
+        "periodically, the user gets a new descriptor from the network".
+        """
+        now = self.clock()
+        if self.descriptor.revoked:
+            raise DescriptorRevoked(
+                f"descriptor {self.descriptor.cookie_id:#x} was revoked"
+            )
+        if self.descriptor.attributes.is_expired(now):
+            raise DescriptorExpired(
+                f"descriptor {self.descriptor.cookie_id:#x} expired at "
+                f"{self.descriptor.attributes.expires_at}"
+            )
+        uuid = self.rng(UUID_BYTES)
+        signature = sign_cookie_fields(
+            self.descriptor.key, self.descriptor.cookie_id, uuid, now
+        )
+        self.generated_count += 1
+        return Cookie(
+            cookie_id=self.descriptor.cookie_id,
+            uuid=uuid,
+            timestamp=now,
+            signature=signature,
+        )
+
+    def usable(self) -> bool:
+        """Whether :meth:`generate` would currently succeed."""
+        return self.descriptor.is_usable(self.clock())

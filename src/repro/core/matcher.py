@@ -1,0 +1,184 @@
+"""Cookie verification and matching (the network half of Listing 3).
+
+The verifier accepts a cookie iff:
+
+1. the cookie id is known (a descriptor exists in the store),
+2. the descriptor is usable (not revoked, not expired),
+3. the HMAC digest verifies under the descriptor key,
+4. the timestamp lies within the Network Coherency Time of now, and
+5. the uuid has not been seen before (no replay).
+
+The NCT — "the maximum time we expect a packet to live within the network"
+— defaults to the paper's 5 seconds.  It bounds both clock skew tolerance
+and the replay cache's memory: uuids older than NCT can be forgotten
+because rule 4 already rejects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cookie import Cookie
+from .descriptor import CookieDescriptor
+from .errors import (
+    CookieError,
+    DescriptorExpired,
+    DescriptorRevoked,
+    InvalidSignature,
+    ReplayDetected,
+    StaleTimestamp,
+    UnknownDescriptor,
+)
+from .store import DescriptorStore
+
+__all__ = ["ReplayCache", "MatchStats", "CookieMatcher", "NETWORK_COHERENCY_TIME"]
+
+NETWORK_COHERENCY_TIME = 5.0
+
+
+class ReplayCache:
+    """Remembers recently seen cookie uuids for the coherency window.
+
+    Implemented as two rotating generation sets, each covering one NCT-wide
+    interval.  Membership is checked against both generations (so coverage
+    is always at least NCT); inserts go to the current generation.  Memory
+    is bounded by the arrival rate times 2×NCT regardless of how long the
+    verifier runs — the property the paper relies on when it says the
+    timestamp "reduces state kept by the network".
+    """
+
+    def __init__(self, window: float = NETWORK_COHERENCY_TIME) -> None:
+        if window <= 0:
+            raise ValueError("replay window must be positive")
+        self.window = window
+        self._current: set[bytes] = set()
+        self._previous: set[bytes] = set()
+        self._generation_start = 0.0
+
+    def _rotate(self, now: float) -> None:
+        while now - self._generation_start >= self.window:
+            self._previous = self._current
+            self._current = set()
+            self._generation_start += self.window
+            # If we've been idle for multiple windows, fast-forward.
+            if now - self._generation_start >= self.window:
+                self._previous = set()
+                self._generation_start = now
+                break
+
+    def seen_before(self, uuid: bytes, now: float) -> bool:
+        """Check membership without recording."""
+        self._rotate(now)
+        return uuid in self._current or uuid in self._previous
+
+    def record(self, uuid: bytes, now: float) -> None:
+        """Record a uuid as seen at ``now``."""
+        self._rotate(now)
+        self._current.add(uuid)
+
+    def check_and_record(self, uuid: bytes, now: float) -> bool:
+        """Atomically test-and-set; returns True if this is a replay."""
+        if self.seen_before(uuid, now):
+            return True
+        self._current.add(uuid)
+        return False
+
+    @property
+    def size(self) -> int:
+        """Number of uuids currently remembered (both generations)."""
+        return len(self._current) + len(self._previous)
+
+
+@dataclass
+class MatchStats:
+    """Outcome counters kept by a :class:`CookieMatcher`."""
+
+    accepted: int = 0
+    unknown_id: int = 0
+    bad_signature: int = 0
+    stale_timestamp: int = 0
+    replayed: int = 0
+    revoked: int = 0
+    expired: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return (
+            self.unknown_id
+            + self.bad_signature
+            + self.stale_timestamp
+            + self.replayed
+            + self.revoked
+            + self.expired
+        )
+
+    @property
+    def total(self) -> int:
+        return self.accepted + self.rejected
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "accepted": self.accepted,
+            "unknown_id": self.unknown_id,
+            "bad_signature": self.bad_signature,
+            "stale_timestamp": self.stale_timestamp,
+            "replayed": self.replayed,
+            "revoked": self.revoked,
+            "expired": self.expired,
+        }
+
+
+class CookieMatcher:
+    """Verifies cookies against a descriptor store.
+
+    :meth:`verify` raises a typed :class:`~repro.core.errors.CookieError`
+    on each failure mode; :meth:`match` is the data-path form that returns
+    the descriptor or ``None`` and only counts — matching the paper's "if
+    it fails to match, it behaves as if the cookie was not there".
+    """
+
+    def __init__(
+        self,
+        store: DescriptorStore,
+        nct: float = NETWORK_COHERENCY_TIME,
+        replay_cache: ReplayCache | None = None,
+    ) -> None:
+        if nct <= 0:
+            raise ValueError("network coherency time must be positive")
+        self.store = store
+        self.nct = nct
+        self.replay_cache = replay_cache or ReplayCache(window=nct)
+        self.stats = MatchStats()
+
+    def verify(self, cookie: Cookie, now: float) -> CookieDescriptor:
+        """Full verification; returns the descriptor or raises."""
+        descriptor = self.store.get(cookie.cookie_id)
+        if descriptor is None:
+            self.stats.unknown_id += 1
+            raise UnknownDescriptor(f"no descriptor {cookie.cookie_id:#x}")
+        if descriptor.revoked:
+            self.stats.revoked += 1
+            raise DescriptorRevoked(f"descriptor {cookie.cookie_id:#x} revoked")
+        if descriptor.attributes.is_expired(now):
+            self.stats.expired += 1
+            raise DescriptorExpired(f"descriptor {cookie.cookie_id:#x} expired")
+        if not cookie.verify_signature(descriptor):
+            self.stats.bad_signature += 1
+            raise InvalidSignature(f"bad digest for {cookie.cookie_id:#x}")
+        if abs(cookie.timestamp - now) > self.nct:
+            self.stats.stale_timestamp += 1
+            raise StaleTimestamp(
+                f"timestamp {cookie.timestamp} outside NCT of {now}"
+            )
+        if self.replay_cache.check_and_record(cookie.uuid, now):
+            self.stats.replayed += 1
+            raise ReplayDetected(f"uuid {cookie.uuid.hex()} already seen")
+        self.stats.accepted += 1
+        return descriptor
+
+    def match(self, cookie: Cookie, now: float) -> CookieDescriptor | None:
+        """Data-path verification: descriptor on success, None on failure."""
+        try:
+            return self.verify(cookie, now)
+        except CookieError:
+            return None

@@ -1,0 +1,154 @@
+"""A real cookie server and client over TCP (newline-delimited JSON).
+
+Simulations call :meth:`CookieServer.handle_request` in-process; this
+module exposes the same API over an actual socket so the examples can run a
+live descriptor-acquisition exchange, as the paper's prototype does with
+its JSON API.
+
+The protocol is one JSON object per line in each direction.  It is
+deliberately boring: the interesting guarantees (authentication,
+revocability, auditability) live in :class:`CookieServer`, not in the
+framing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from .server import CookieServer
+
+__all__ = ["AsyncCookieServer", "CookieClient", "request_over_tcp"]
+
+MAX_LINE_BYTES = 1_000_000
+
+
+class AsyncCookieServer:
+    """Serves a :class:`CookieServer` over TCP with JSON-lines framing."""
+
+    def __init__(self, server: CookieServer, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self._asyncio_server: asyncio.AbstractServer | None = None
+        self._open_writers: set[asyncio.StreamWriter] = set()
+        self.connections_handled = 0
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the (host, port) actually bound
+        (``port=0`` picks a free port)."""
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._asyncio_server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop listening and drop any connections still open."""
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        for writer in list(self._open_writers):
+            writer.close()
+        self._open_writers.clear()
+        # Give handler tasks a turn to observe the closed sockets.
+        await asyncio.sleep(0)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_handled += 1
+        self._open_writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    response = {"ok": False, "error": "request too large"}
+                else:
+                    try:
+                        request = json.loads(line)
+                        if not isinstance(request, dict):
+                            raise ValueError("request must be a JSON object")
+                        response = self.server.handle_request(request)
+                    except (json.JSONDecodeError, ValueError) as exc:
+                        response = {"ok": False, "error": f"bad request: {exc}"}
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        finally:
+            self._open_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionResetError:
+                pass
+
+
+class CookieClient:
+    """Async client speaking the JSON-lines protocol.
+
+    One client holds one connection; :meth:`request` is safe to call
+    sequentially (requests are pipelined one at a time).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionResetError:
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and await its response."""
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("cookie server closed the connection")
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ValueError("malformed response from cookie server")
+        return response
+
+
+def request_over_tcp(host: str, port: int, payload: dict[str, Any]) -> dict[str, Any]:
+    """Synchronous one-shot request helper (connect, ask, disconnect).
+
+    Handy as a :class:`repro.core.client.UserAgent` channel when the agent
+    runs outside an event loop::
+
+        agent = UserAgent(..., channel=lambda req: request_over_tcp(h, p, req))
+    """
+
+    async def _go() -> dict[str, Any]:
+        client = CookieClient(host, port)
+        try:
+            return await client.request(payload)
+        finally:
+            await client.close()
+
+    return asyncio.run(_go())

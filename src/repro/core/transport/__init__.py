@@ -1,0 +1,28 @@
+"""Cookie transport carriers: HTTP header, TLS extension, IPv6 extension
+header, TCP option, and a UDP shim, plus the registry that composes them."""
+
+from .base import CookieCarrier
+from .http import COOKIE_HEADER, HttpHeaderCarrier
+from .ipv6 import COOKIE_OPTION_TYPE, Ipv6ExtensionCarrier
+from .registry import TransportRegistry, default_registry
+from .tcpopt import COOKIE_EXID, COOKIE_OPTION_KIND, TcpOptionCarrier
+from .tls import COOKIE_EXTENSION_TYPE, TlsExtensionCarrier
+from .udp import SHIM_MAGIC, CookieShim, UdpShimCarrier
+
+__all__ = [
+    "CookieCarrier",
+    "COOKIE_HEADER",
+    "HttpHeaderCarrier",
+    "COOKIE_OPTION_TYPE",
+    "Ipv6ExtensionCarrier",
+    "TransportRegistry",
+    "default_registry",
+    "COOKIE_EXID",
+    "COOKIE_OPTION_KIND",
+    "TcpOptionCarrier",
+    "COOKIE_EXTENSION_TYPE",
+    "TlsExtensionCarrier",
+    "SHIM_MAGIC",
+    "CookieShim",
+    "UdpShimCarrier",
+]

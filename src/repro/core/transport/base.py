@@ -1,0 +1,64 @@
+"""Carrier interface for moving cookies in-band with traffic.
+
+The paper deliberately supports several carriers — "a special HTTP header,
+a TLS-handshake extension, an IPv6 extension header" and TCP long options —
+so the right layer can be picked per application and network service.  Each
+carrier implements this small interface; the registry composes them.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ...netsim.packet import Packet
+from ..cookie import Cookie
+
+__all__ = ["CookieCarrier"]
+
+
+class CookieCarrier(abc.ABC):
+    """One way of carrying a cookie inside a packet.
+
+    Implementations must be symmetric: ``extract`` recovers exactly the
+    cookie a prior ``attach`` embedded, and returns ``None`` (never raises)
+    when scanning a packet that carries nothing — the data path scans every
+    packet.
+    """
+
+    #: Registry key, also referenced by descriptor ``transports`` attributes.
+    name: str = "abstract"
+
+    #: Extra wire bytes one attached cookie costs on this carrier.
+    overhead_bytes: int = 0
+
+    @abc.abstractmethod
+    def can_carry(self, packet: Packet) -> bool:
+        """Whether this packet has the right shape for this carrier."""
+
+    @abc.abstractmethod
+    def attach(self, packet: Packet, cookie: Cookie) -> None:
+        """Embed the cookie; raises TransportError if the packet cannot
+        carry it (callers should check :meth:`can_carry` first)."""
+
+    @abc.abstractmethod
+    def extract(self, packet: Packet) -> Cookie | None:
+        """Recover an embedded cookie, or None if this carrier finds none.
+
+        Malformed cookie bytes also yield None: on the data path a garbled
+        cookie must degrade to best-effort, not take down the middlebox.
+        """
+
+    def extract_all(self, packet: Packet) -> list[Cookie]:
+        """All cookies this carrier finds in the packet.
+
+        Cookies are composable — "users can combine multiple services
+        (potentially by different networks) by composing multiple cookies
+        together" — so carriers that can hold several (TCP options, IPv6
+        extension chains, comma-joined text fields) override this.  The
+        default wraps :meth:`extract`.
+        """
+        cookie = self.extract(packet)
+        return [cookie] if cookie is not None else []
+
+    def __repr__(self) -> str:
+        return f"<carrier {self.name}>"

@@ -1,0 +1,62 @@
+"""HTTP header carrier.
+
+For unencrypted traffic the cookie rides in a dedicated request header as
+base64 text, exactly as the Boost prototype does ("We insert cookies as a
+special HTTP header for unencrypted traffic").
+"""
+
+from __future__ import annotations
+
+from ...netsim.appmsg import HTTPRequest
+from ...netsim.packet import Packet
+from ..cookie import COOKIE_WIRE_BYTES, Cookie
+from ..errors import MalformedCookie, TransportError
+from .base import CookieCarrier
+
+__all__ = ["HttpHeaderCarrier", "COOKIE_HEADER"]
+
+COOKIE_HEADER = "X-Network-Cookie"
+
+
+class HttpHeaderCarrier(CookieCarrier):
+    """Carries the cookie in the ``X-Network-Cookie`` request header."""
+
+    name = "http"
+    # header name + ": " + base64(48 bytes) + CRLF
+    overhead_bytes = len(COOKIE_HEADER) + 2 + ((COOKIE_WIRE_BYTES + 2) // 3) * 4 + 2
+
+    def can_carry(self, packet: Packet) -> bool:
+        return (
+            isinstance(packet.payload.content, HTTPRequest)
+            and not packet.payload.encrypted
+        )
+
+    def attach(self, packet: Packet, cookie: Cookie) -> None:
+        """Attach a cookie; composes with any already present (the header
+        value becomes a comma-separated list, HTTP list-header style)."""
+        if not self.can_carry(packet):
+            raise TransportError("packet does not carry a plaintext HTTP request")
+        request: HTTPRequest = packet.payload.content
+        existing = request.header(COOKIE_HEADER)
+        value = cookie.to_text() if existing is None else f"{existing},{cookie.to_text()}"
+        request.set_header(COOKIE_HEADER, value)
+        packet.payload.size += self.overhead_bytes
+
+    def extract(self, packet: Packet) -> Cookie | None:
+        cookies = self.extract_all(packet)
+        return cookies[0] if cookies else None
+
+    def extract_all(self, packet: Packet) -> list[Cookie]:
+        if not self.can_carry(packet):
+            return []
+        request: HTTPRequest = packet.payload.content
+        text = request.header(COOKIE_HEADER)
+        if text is None:
+            return []
+        cookies = []
+        for item in text.split(","):
+            try:
+                cookies.append(Cookie.from_text(item.strip()))
+            except MalformedCookie:
+                continue
+        return cookies

@@ -1,0 +1,119 @@
+"""Carrier registry: pick the right transport per packet.
+
+User agents call :meth:`TransportRegistry.attach` to embed a cookie using
+the first carrier that (a) the descriptor's ``transports`` attribute
+allows and (b) fits the packet.  Middleboxes call :meth:`extract` to scan
+a packet across all carriers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...netsim.packet import Packet
+from ..cookie import Cookie
+from ..errors import TransportError
+from .base import CookieCarrier
+from .http import HttpHeaderCarrier
+from .ipv6 import Ipv6ExtensionCarrier
+from .tcpopt import TcpOptionCarrier
+from .tls import TlsExtensionCarrier
+from .udp import UdpShimCarrier
+
+__all__ = ["TransportRegistry", "default_registry"]
+
+
+class TransportRegistry:
+    """An ordered collection of cookie carriers."""
+
+    def __init__(self, carriers: Iterable[CookieCarrier] | None = None) -> None:
+        self._carriers: list[CookieCarrier] = list(carriers or [])
+        names = [c.name for c in self._carriers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate carrier names: {names}")
+
+    def register(self, carrier: CookieCarrier) -> None:
+        """Append a carrier (order matters: earlier carriers are preferred)."""
+        if any(c.name == carrier.name for c in self._carriers):
+            raise ValueError(f"carrier {carrier.name!r} already registered")
+        self._carriers.append(carrier)
+
+    def get(self, name: str) -> CookieCarrier | None:
+        for carrier in self._carriers:
+            if carrier.name == name:
+                return carrier
+        return None
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._carriers]
+
+    def carriers_for(self, packet: Packet) -> list[CookieCarrier]:
+        """All carriers that could embed a cookie in this packet."""
+        return [c for c in self._carriers if c.can_carry(packet)]
+
+    def attach(
+        self,
+        packet: Packet,
+        cookie: Cookie,
+        allowed: Sequence[str] | None = None,
+    ) -> str:
+        """Embed the cookie with the first suitable carrier.
+
+        ``allowed`` restricts candidates to the descriptor's permitted
+        transports.  Returns the chosen carrier name; raises
+        :class:`TransportError` if no carrier fits.
+        """
+        for carrier in self._carriers:
+            if allowed is not None and carrier.name not in allowed:
+                continue
+            if carrier.can_carry(packet):
+                carrier.attach(packet, cookie)
+                return carrier.name
+        raise TransportError(
+            f"no carrier fits packet {packet.describe()} (allowed={allowed})"
+        )
+
+    def extract(self, packet: Packet) -> tuple[Cookie, str] | None:
+        """Scan the packet across all carriers; first hit wins.
+
+        Returns ``(cookie, carrier_name)`` or ``None``.  Never raises: the
+        data path scans every packet and garbled cookies must degrade to
+        best-effort.
+        """
+        for carrier in self._carriers:
+            cookie = carrier.extract(packet)
+            if cookie is not None:
+                return cookie, carrier.name
+        return None
+
+    def extract_all(self, packet: Packet) -> list[tuple[Cookie, str]]:
+        """Every cookie on the packet, across all carriers.
+
+        Composition support: a packet crossing two access networks may
+        carry one cookie per network; each network's switch scans all of
+        them and acts on the ones its own store recognizes.
+        """
+        found: list[tuple[Cookie, str]] = []
+        for carrier in self._carriers:
+            for cookie in carrier.extract_all(packet):
+                found.append((cookie, carrier.name))
+        return found
+
+
+def default_registry() -> TransportRegistry:
+    """A registry with all five paper carriers.
+
+    Application-layer carriers come first: an HTTPS request packet carries
+    a ClientHello, and the TLS extension is where the Boost prototype puts
+    the cookie even though the same packet also has a TCP header.
+    """
+    return TransportRegistry(
+        [
+            HttpHeaderCarrier(),
+            TlsExtensionCarrier(),
+            UdpShimCarrier(),
+            Ipv6ExtensionCarrier(),
+            TcpOptionCarrier(),
+        ]
+    )

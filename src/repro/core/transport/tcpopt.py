@@ -1,0 +1,67 @@
+"""TCP option carrier.
+
+The binary cookie rides in an experimental TCP option (kind 253, RFC 6994
+shared experiment space, with a 2-byte ExID).  A 48-byte cookie plus
+framing exceeds the classic 40-byte TCP option space, which is why the
+paper cites the Extended Data Offset (EDO) draft; this carrier models an
+EDO-capable stack and records that requirement.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ...netsim.headers import TCPHeader, TCPOption
+from ...netsim.packet import Packet
+from ..cookie import COOKIE_WIRE_BYTES, Cookie
+from ..errors import MalformedCookie, TransportError
+from .base import CookieCarrier
+
+__all__ = ["TcpOptionCarrier", "COOKIE_OPTION_KIND", "COOKIE_EXID"]
+
+COOKIE_OPTION_KIND = 253
+COOKIE_EXID = 0x4E43  # "NC"
+
+
+class TcpOptionCarrier(CookieCarrier):
+    """Carries the binary cookie in an experimental TCP option."""
+
+    name = "tcp"
+    # kind (1) + length (1) + ExID (2) + cookie
+    overhead_bytes = 4 + COOKIE_WIRE_BYTES
+    #: Classic TCP caps options at 40 bytes; carrying a cookie requires the
+    #: Extended Data Offset extension on both the sender and any middlebox.
+    requires_extended_options = True
+
+    def can_carry(self, packet: Packet) -> bool:
+        return isinstance(packet.l4, TCPHeader)
+
+    def attach(self, packet: Packet, cookie: Cookie) -> None:
+        if not self.can_carry(packet):
+            raise TransportError("packet has no TCP header")
+        tcp: TCPHeader = packet.l4  # type: ignore[assignment]
+        data = struct.pack("!H", COOKIE_EXID) + cookie.to_bytes()
+        tcp.options.append(TCPOption(kind=COOKIE_OPTION_KIND, data=data))
+
+    def extract(self, packet: Packet) -> Cookie | None:
+        cookies = self.extract_all(packet)
+        return cookies[0] if cookies else None
+
+    def extract_all(self, packet: Packet) -> list[Cookie]:
+        """All cookie options (TCP options repeat naturally, so composed
+        cookies are simply additional options)."""
+        if not self.can_carry(packet):
+            return []
+        tcp: TCPHeader = packet.l4  # type: ignore[assignment]
+        cookies = []
+        for option in tcp.options:
+            if option.kind != COOKIE_OPTION_KIND or len(option.data) < 2:
+                continue
+            (exid,) = struct.unpack("!H", option.data[:2])
+            if exid != COOKIE_EXID:
+                continue
+            try:
+                cookies.append(Cookie.from_bytes(option.data[2:]))
+            except MalformedCookie:
+                continue
+        return cookies

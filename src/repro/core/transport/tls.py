@@ -1,0 +1,68 @@
+"""TLS ClientHello extension carrier.
+
+For HTTPS traffic the cookie rides in a custom extension of the TLS
+ClientHello — the one handshake message a middlebox can still read.  The
+Boost prototype "had to modify Chrome's SSL/TLS library" (BoringSSL) to add
+this; here the extension is a private-range extension type carrying the
+base64 text form, mirroring the paper's encoding choice.
+"""
+
+from __future__ import annotations
+
+from ...netsim.appmsg import TLSClientHello
+from ...netsim.packet import Packet
+from ..cookie import COOKIE_WIRE_BYTES, Cookie
+from ..errors import MalformedCookie, TransportError
+from .base import CookieCarrier
+
+__all__ = ["TlsExtensionCarrier", "COOKIE_EXTENSION_TYPE"]
+
+# IANA marks 0xFF00..0xFFFF "reserved for private use".
+COOKIE_EXTENSION_TYPE = 0xFFCE
+
+
+class TlsExtensionCarrier(CookieCarrier):
+    """Carries the cookie in a private TLS ClientHello extension."""
+
+    name = "tls"
+    # extension type (2) + length (2) + base64 payload
+    overhead_bytes = 4 + ((COOKIE_WIRE_BYTES + 2) // 3) * 4
+
+    def can_carry(self, packet: Packet) -> bool:
+        return isinstance(packet.payload.content, TLSClientHello)
+
+    def attach(self, packet: Packet, cookie: Cookie) -> None:
+        """Attach a cookie; TLS forbids repeated extension types, so
+        composed cookies share one extension as a comma-joined list."""
+        if not self.can_carry(packet):
+            raise TransportError("packet does not carry a TLS ClientHello")
+        hello: TLSClientHello = packet.payload.content
+        existing = hello.extensions.get(COOKIE_EXTENSION_TYPE)
+        text = cookie.to_text().encode("ascii")
+        if existing is not None:
+            text = existing + b"," + text
+        hello.extensions[COOKIE_EXTENSION_TYPE] = text
+        packet.payload.size += self.overhead_bytes
+
+    def extract(self, packet: Packet) -> Cookie | None:
+        cookies = self.extract_all(packet)
+        return cookies[0] if cookies else None
+
+    def extract_all(self, packet: Packet) -> list[Cookie]:
+        if not self.can_carry(packet):
+            return []
+        hello: TLSClientHello = packet.payload.content
+        data = hello.extensions.get(COOKIE_EXTENSION_TYPE)
+        if data is None:
+            return []
+        try:
+            text = data.decode("ascii")
+        except UnicodeDecodeError:
+            return []
+        cookies = []
+        for item in text.split(","):
+            try:
+                cookies.append(Cookie.from_text(item.strip()))
+            except MalformedCookie:
+                continue
+        return cookies

@@ -1,0 +1,55 @@
+"""Experiment drivers: one module per paper table/figure, shared by the
+test suite, the benchmarks, and the examples.
+
+================  ==============================================
+Module            Reproduces
+================  ==============================================
+fig4_throughput   Fig. 4 middlebox forwarding performance
+fig5b_fct         Fig. 5(b) flow completion time under Boost
+fig6_accuracy     Fig. 6 matching accuracy (cookies/nDPI/OOB)
+sec3_dpi          §3 DPI-limitation measurements
+sec46_campus      §4.6 campus-trace replay
+================  ==============================================
+
+Fig. 1 and Fig. 2 live in :mod:`repro.study` (BoostStudy /
+ZeroRatingSurvey); Table 1 lives in :mod:`repro.baselines.comparison`.
+"""
+
+from .fig4_throughput import FLOW_LENGTHS, PACKET_SIZES, Fig4Point, run_point, run_sweep
+from .fig5b_fct import SERVICE_CLASSES, FctResult, run_fig5b, run_trial
+from .fig6_accuracy import (
+    DPI_APP_OF_SITE,
+    TARGET_SITES,
+    AccuracyResult,
+    run_accuracy,
+    run_all_targets,
+    run_cookies,
+    run_ndpi,
+    run_oob,
+)
+from .sec3_dpi import Sec3Result, run_sec3
+from .sec46_campus import Sec46Result, run_sec46
+
+__all__ = [
+    "FLOW_LENGTHS",
+    "PACKET_SIZES",
+    "Fig4Point",
+    "run_point",
+    "run_sweep",
+    "SERVICE_CLASSES",
+    "FctResult",
+    "run_fig5b",
+    "run_trial",
+    "DPI_APP_OF_SITE",
+    "TARGET_SITES",
+    "AccuracyResult",
+    "run_accuracy",
+    "run_all_targets",
+    "run_cookies",
+    "run_ndpi",
+    "run_oob",
+    "Sec3Result",
+    "run_sec3",
+    "Sec46Result",
+    "run_sec46",
+]

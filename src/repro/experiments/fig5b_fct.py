@@ -1,0 +1,163 @@
+"""Fig. 5(b): flow completion time for a 300 KB flow under Boost.
+
+"Figure 5(b) shows a scenario for a 6 Mbps connection, where we throttle
+non-boosted traffic to 1 Mbps" — the completion-time CDF of a 300 KB
+download under three service classes:
+
+- **best-effort**: no boost anywhere; the flow competes head-to-head with
+  background traffic on the full 6 Mb/s link;
+- **boosted**: the flow carries cookies, the Boost daemon binds it to the
+  fast lane and throttles everything else;
+- **throttled**: *someone else* holds the boost, so the measured flow
+  shares the 1 Mb/s throttle with the background.
+
+Every trial runs the full machinery — cookie generation, the daemon's
+sniff-verify-bind path, the priority scheduler, the token-bucket throttle
+— not a closed-form model.  Trials differ only in the background traffic's
+random seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import random
+
+from ..analysis.cdf import EmpiricalCDF
+from ..core import CookieGenerator, CookieServer, DescriptorStore, ServiceOffering
+from ..core.transport import default_registry
+from ..netsim.events import EventLoop
+from ..netsim.middlebox import FunctionElement
+from ..netsim.packet import Packet, make_tcp_packet
+from ..netsim.tcpmodel import TcpTransfer
+from ..netsim.topology import HomeNetwork, HomeNetworkConfig
+from ..services.boost import BOOST_SERVICE, BoostDaemon
+
+__all__ = ["FctResult", "run_trial", "run_fig5b", "SERVICE_CLASSES"]
+
+SERVICE_CLASSES = ("best-effort", "boosted", "throttled")
+
+FLOW_SIZE = 300_000  # the paper's 300 KB flow
+DOWNLINK_BPS = 6_000_000.0
+THROTTLE_BPS = 1_000_000.0
+TRIAL_TIMEOUT = 60.0
+
+
+@dataclass
+class FctResult:
+    """Completion times per service class, as CDFs."""
+
+    samples: dict[str, list[float]] = field(default_factory=dict)
+
+    def cdf(self, service_class: str) -> EmpiricalCDF:
+        return EmpiricalCDF(self.samples[service_class])
+
+    def medians(self) -> dict[str, float]:
+        return {name: self.cdf(name).median for name in self.samples}
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for name, values in self.samples.items():
+            cdf = EmpiricalCDF(values)
+            out[name] = {
+                "median_s": round(cdf.median, 3),
+                "p90_s": round(cdf.quantile(0.9), 3),
+                "min_s": round(min(values), 3),
+                "max_s": round(max(values), 3),
+                "trials": len(values),
+            }
+        return out
+
+
+def _make_cookie_tagger(loop, descriptor, registry):
+    """An element that stamps a boost cookie onto the measured transfer's
+    early packets — the in-band signal the daemon sniffs for."""
+    generator = CookieGenerator(descriptor, clock=lambda: loop.now)
+
+    def tag(packet: Packet) -> Packet:
+        if packet.meta.get("measured") and packet.meta.get("segment", 99) < 2:
+            cookie = generator.generate()
+            registry.attach(packet, cookie)
+        return packet
+
+    return FunctionElement(tag, name="cookie-tagger")
+
+
+def run_trial(service_class: str, seed: int = 0) -> float:
+    """One 300 KB download under ``service_class``; returns the FCT."""
+    if service_class not in SERVICE_CLASSES:
+        raise ValueError(f"unknown service class {service_class!r}")
+    loop = EventLoop()
+    registry = default_registry()
+    store = DescriptorStore()
+    server = CookieServer(clock=lambda: loop.now)
+    server.offer(ServiceOffering(name=BOOST_SERVICE, lifetime=3600.0))
+    server.attach_enforcement_store(store)
+
+    daemon = BoostDaemon(loop, store, registry=registry)
+    home = HomeNetwork(
+        loop,
+        config=HomeNetworkConfig(
+            downlink_bps=DOWNLINK_BPS, throttle_bps=THROTTLE_BPS
+        ),
+        middleboxes=[daemon.switch],
+    )
+    daemon.attach(home)
+
+    rng = random.Random(seed)
+    # Background load is *elastic*: other household devices running bulk
+    # TCP downloads that grab whatever share the scheduler leaves them.
+    # Trials differ in how many there are and when they start.
+    background_flows = rng.randint(1, 5)
+    for i in range(background_flows):
+        bulk = TcpTransfer(
+            loop,
+            home.wan_ingress,
+            size_bytes=20_000_000,  # outlives the trial
+            src_ip=f"203.0.113.{20 + i}",
+            src_port=443,
+            dst_ip="192.168.1.101",
+            dst_port=40_000 + i,
+        )
+        loop.schedule(rng.uniform(0.0, 0.5), bulk.start)
+
+    descriptor = server.acquire("resident", BOOST_SERVICE)
+    path = home.wan_ingress
+    if service_class == "boosted":
+        tagger = _make_cookie_tagger(loop, descriptor, registry)
+        tagger >> home.wan_ingress
+        path = tagger
+    elif service_class == "throttled":
+        # Someone else in the house boosts: a cookied packet from another
+        # device activates the fast lane (and therefore the throttle).
+        other = make_tcp_packet(
+            "203.0.113.99", 443, "192.168.1.102", 44_000, payload_size=100
+        )
+        cookie = CookieGenerator(descriptor, clock=lambda: loop.now).generate()
+        registry.attach(other, cookie)
+        loop.schedule(0.5, lambda: home.wan_ingress.push(other))
+
+    # Let background traffic build up queue state before measuring.
+    loop.run(until=1.0)
+
+    transfer = TcpTransfer(
+        loop,
+        path,
+        size_bytes=FLOW_SIZE,
+        dst_ip="192.168.1.100",
+        meta={"measured": True},
+    )
+    transfer.start()
+    loop.run(until=1.0 + TRIAL_TIMEOUT)
+    if not transfer.completed:
+        return TRIAL_TIMEOUT
+    return transfer.completion_time or TRIAL_TIMEOUT
+
+
+def run_fig5b(trials: int = 20, seed: int = 0) -> FctResult:
+    """The full figure: ``trials`` downloads per service class."""
+    result = FctResult()
+    for service_class in SERVICE_CLASSES:
+        result.samples[service_class] = [
+            run_trial(service_class, seed=seed + trial) for trial in range(trials)
+        ]
+    return result

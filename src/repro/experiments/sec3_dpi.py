@@ -1,0 +1,110 @@
+"""§3's DPI-limitation measurements.
+
+Two published numbers about cnn.com:
+
+- "Loading its front-page generates 255 flows and 6741 packets from 71
+  different servers."
+- "nDPI marked only packets coming from CNN servers, which summed up to
+  605 packets (less than 10%)" — packets attributable to CNN-operated
+  origins; content on CDNs, advertisers etc. is invisible to an
+  origin-based view.  (Fig. 6's slightly higher 18 % additionally counts
+  CDN-hosted flows whose SNI still says ``*.cnn.com``.)
+
+Plus the application-coverage numbers:
+
+- "nDPI ... recognizes only 23 out of 106 applications that our surveyed
+  users picked for zero-rating."
+- "MusicFreedom ... works with only 17 out of 51 music applications
+  mentioned in our survey."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.dpi import DpiEngine
+from ..baselines.dpi_rules import NDPI_KNOWN_APPS
+from ..study.appstore import AppCatalog
+from ..study.coverage import (
+    MUSIC_FREEDOM_COVERED_MUSIC_APPS,
+    MUSIC_SURVEY_APPS,
+)
+from ..web.browser import Browser
+from ..web.sites import build_cnn
+
+__all__ = ["Sec3Result", "run_sec3"]
+
+
+@dataclass
+class Sec3Result:
+    """Everything §3 quantifies."""
+
+    cnn_flows: int
+    cnn_packets: int
+    cnn_servers: int
+    packets_from_cnn_servers: int
+    ndpi_marked_packets: int
+    ndpi_known_survey_apps: int
+    survey_apps_total: int
+    music_freedom_covered: int
+    music_survey_apps: int
+
+    @property
+    def cnn_server_fraction(self) -> float:
+        """Packets from CNN-operated servers over all page packets —
+        the "less than 10 %" figure."""
+        return self.packets_from_cnn_servers / self.cnn_packets
+
+    @property
+    def ndpi_marked_fraction(self) -> float:
+        """What SNI-based nDPI rules mark (Fig. 6's ≈18 %)."""
+        return self.ndpi_marked_packets / self.cnn_packets
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "cnn": f"{self.cnn_flows} flows / {self.cnn_packets} packets / "
+                   f"{self.cnn_servers} servers",
+            "from_cnn_servers": (
+                f"{self.packets_from_cnn_servers} "
+                f"({self.cnn_server_fraction:.1%})"
+            ),
+            "ndpi_sni_marked": (
+                f"{self.ndpi_marked_packets} ({self.ndpi_marked_fraction:.1%})"
+            ),
+            "ndpi_app_coverage": (
+                f"{self.ndpi_known_survey_apps}/{self.survey_apps_total}"
+            ),
+            "music_freedom_music_apps": (
+                f"{self.music_freedom_covered}/{self.music_survey_apps}"
+            ),
+        }
+
+
+def run_sec3(seed: int = 0) -> Sec3Result:
+    """Measure the cnn.com page against the DPI engine."""
+    page = build_cnn()
+    browser = Browser(seed=seed)
+    tab = browser.open_tab("cnn.com")
+    packets = browser.load_page(tab, page)
+
+    engine = DpiEngine()
+    marked = sum(
+        1
+        for packet in packets
+        if packet.meta.get("kind") not in ("dns",)
+        and engine.label_of(packet) == "cnn"
+    )
+
+    catalog = AppCatalog()
+    known = len(NDPI_KNOWN_APPS & set(catalog.names()))
+    return Sec3Result(
+        cnn_flows=page.flow_count,
+        cnn_packets=page.packet_count,
+        cnn_servers=page.server_count,
+        packets_from_cnn_servers=page.packets_by_operator().get("cnn", 0),
+        ndpi_marked_packets=marked,
+        ndpi_known_survey_apps=known,
+        survey_apps_total=len(catalog),
+        music_freedom_covered=len(MUSIC_FREEDOM_COVERED_MUSIC_APPS),
+        music_survey_apps=len(MUSIC_SURVEY_APPS),
+    )

@@ -1,0 +1,133 @@
+"""§4.6: can the middlebox handle a university campus?
+
+The paper validates deployability by replaying a 15-hour campus wireless
+trace: 11.3 M flows, 73 613 client IPs, median flow 50 packets, p99 new
+flows per second 442 — and shows its middlebox's sustainable rate ("~48000
+new flows per second") is "much more than required by the university
+trace".
+
+This experiment (a) generates a scaled synthetic trace and verifies the
+marginals match the published ones, then (b) replays it through the
+zero-rating middlebox with a configurable fraction of flows carrying
+cookies, and (c) compares the middlebox's measured new-flow capacity to
+the trace's p99 demand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.descriptor import CookieDescriptor
+from ..core.generator import CookieGenerator
+from ..core.matcher import CookieMatcher
+from ..core.store import DescriptorStore
+from ..services.zerorate import ZeroRatingMiddlebox
+from ..trace.campus import PUBLISHED_TRACE, CampusTraceGenerator, CampusTraceStats
+from ..trace.records import flow_to_packets
+
+__all__ = ["Sec46Result", "run_sec46"]
+
+
+@dataclass
+class Sec46Result:
+    """Trace validation + replay outcome."""
+
+    trace: CampusTraceStats
+    flows_replayed: int
+    packets_replayed: int
+    elapsed_s: float
+    cookie_flows: int
+    cookie_hits: int
+    subscribers_accounted: int
+
+    @property
+    def sustainable_new_flows_per_second(self) -> float:
+        """How many fresh flows/s the middlebox absorbed during replay."""
+        return self.flows_replayed / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def headroom_over_p99(self) -> float:
+        """Sustainable rate over the trace's published p99 demand — the
+        paper's "much more than required" claim, as a ratio."""
+        return (
+            self.sustainable_new_flows_per_second
+            / PUBLISHED_TRACE["p99_new_flows_per_second"]
+        )
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "trace_flows": self.trace.flows,
+            "trace_median_flow_packets": self.trace.median_flow_packets,
+            "trace_p99_new_flows_per_s": round(
+                self.trace.p99_new_flows_per_second, 1
+            ),
+            "replayed_packets": self.packets_replayed,
+            "cookie_hit_rate": (
+                round(self.cookie_hits / self.cookie_flows, 4)
+                if self.cookie_flows
+                else 0.0
+            ),
+            "sustainable_new_flows_per_s": round(
+                self.sustainable_new_flows_per_second
+            ),
+            "headroom_over_published_p99": round(self.headroom_over_p99, 1),
+        }
+
+
+def run_sec46(
+    scale: float = 0.0005,
+    cookie_fraction: float = 0.5,
+    seed: int = 26_01_2015,
+) -> Sec46Result:
+    """Generate, validate, and replay a scaled campus trace.
+
+    ``cookie_fraction`` of flows carry a valid zero-rating cookie; the
+    rest exercise the search-and-miss path, which is the expensive one.
+    """
+    generator = CampusTraceGenerator(scale=scale, seed=seed)
+    records = list(generator.generate())
+    stats = generator.summarize(records)
+
+    store = DescriptorStore()
+    descriptor = store.add(CookieDescriptor.create(service_data="zero-rate"))
+    clock = time.perf_counter
+    cookie_generator = CookieGenerator(descriptor, clock)
+    # The replay compresses hours of trace time into seconds of wall
+    # clock, but cookies are minted during pre-expansion — possibly many
+    # wall-clock seconds before their flow is replayed.  A wide NCT keeps
+    # the verifier's timestamp check from rejecting cookies for an
+    # artifact of replay compression (in deployment, generation and
+    # arrival are separated by network latency, well within 5 s).
+    matcher = CookieMatcher(store, nct=600.0)
+    middlebox = ZeroRatingMiddlebox(matcher, clock=clock)
+
+    rng = generator.rng
+    flows_with_cookie = 0
+    # Pre-expand packets so the timed region is middlebox work only.
+    expanded: list = []
+    for record in records:
+        cookie = None
+        if rng.random() < cookie_fraction:
+            cookie = cookie_generator.generate()
+            flows_with_cookie += 1
+        expanded.append(list(flow_to_packets(record, cookie=cookie)))
+
+    start = clock()
+    handle = middlebox.handle
+    packet_count = 0
+    for flow_packets in expanded:
+        for packet in flow_packets:
+            handle(packet)
+            packet_count += 1
+    elapsed = clock() - start
+
+    return Sec46Result(
+        trace=stats,
+        flows_replayed=len(records),
+        packets_replayed=packet_count,
+        elapsed_s=elapsed,
+        cookie_flows=flows_with_cookie,
+        cookie_hits=middlebox.cookie_hits,
+        subscribers_accounted=len(middlebox.counters),
+    )

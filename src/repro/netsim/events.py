@@ -1,0 +1,103 @@
+"""A small discrete-event simulation kernel.
+
+Everything time-dependent in the substrate (link serialization, queue
+drains, TCP timers, periodic capacity probes) is driven by one
+:class:`EventLoop`.  Events are ``(time, seq, callback)`` entries on a heap;
+``seq`` breaks ties deterministically in insertion order so simulations are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventLoop", "ScheduledEvent", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A pending callback; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when it comes due."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Deterministic discrete-event loop with virtual time in seconds."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], Any]) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now is {self._now})"
+            )
+        event = ScheduledEvent(time=when, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run events in time order.
+
+        Stops when the queue empties, when the next event is past ``until``,
+        or after ``max_events`` (a runaway guard).  Returns the final virtual
+        time.  When stopped by ``until``, time is advanced exactly to
+        ``until`` so periodic processes observe a consistent clock.
+        """
+        processed = 0
+        while self._heap:
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a scheduling loop"
+                )
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            processed += 1
+        self.events_processed += processed
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain."""
+        return self.run(until=None, max_events=max_events)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled tombstones)."""
+        return len(self._heap)

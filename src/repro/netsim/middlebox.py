@@ -1,0 +1,272 @@
+"""A Click-style element pipeline for packet processing.
+
+The paper's zero-rating middlebox was built on the Click modular router;
+this module mirrors that composition model in miniature.  An
+:class:`Element` receives packets via :meth:`Element.push` and forwards them
+to its downstream element(s).  Pipelines are wired with ``a >> b >> c``.
+
+Elements provided here are generic plumbing (counters, taps, filters,
+shapers); protocol-aware middleboxes (cookie matchers, DPI, NAT) subclass
+:class:`Element` in their own modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .events import EventLoop
+from .packet import Packet
+from .queues import TokenBucket
+
+__all__ = [
+    "Element",
+    "Pipeline",
+    "Sink",
+    "Counter",
+    "Tap",
+    "Filter",
+    "Classifier",
+    "ShaperElement",
+    "FunctionElement",
+]
+
+
+class Element:
+    """Base class for packet-processing elements.
+
+    Subclasses override :meth:`handle` and call :meth:`emit` for each packet
+    they forward.  ``>>`` wires elements: ``a >> b`` makes ``b`` the
+    downstream of ``a`` and returns ``b`` so chains read left-to-right.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self.downstream: Element | None = None
+
+    def __rshift__(self, other: "Element") -> "Element":
+        self.downstream = other
+        return other
+
+    def push(self, packet: Packet) -> None:
+        """Entry point: process one packet."""
+        self.handle(packet)
+
+    def handle(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        """Process ``packet``; default behaviour is pass-through."""
+        self.emit(packet)
+
+    def emit(self, packet: Packet) -> None:
+        """Forward a packet downstream (drops silently at pipeline end)."""
+        if self.downstream is not None:
+            self.downstream.push(packet)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Pipeline:
+    """Convenience wrapper holding the head of an element chain."""
+
+    def __init__(self, *elements: Element) -> None:
+        if not elements:
+            raise ValueError("pipeline needs at least one element")
+        self.elements = list(elements)
+        for upstream, downstream in zip(elements, elements[1:]):
+            upstream >> downstream
+
+    @property
+    def head(self) -> Element:
+        return self.elements[0]
+
+    @property
+    def tail(self) -> Element:
+        return self.elements[-1]
+
+    def push(self, packet: Packet) -> None:
+        self.head.push(packet)
+
+    def push_many(self, packets: Iterable[Packet]) -> None:
+        for packet in packets:
+            self.head.push(packet)
+
+
+class Sink(Element):
+    """Terminal element that collects every packet it receives."""
+
+    def __init__(self, name: str = "", keep: bool = True) -> None:
+        super().__init__(name)
+        self.keep = keep
+        self.packets: list[Packet] = []
+        self.count = 0
+        self.bytes = 0
+
+    def handle(self, packet: Packet) -> None:
+        self.count += 1
+        self.bytes += packet.wire_length
+        if self.keep:
+            self.packets.append(packet)
+
+
+class Counter(Element):
+    """Pass-through element counting packets and bytes."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self.count = 0
+        self.bytes = 0
+
+    def handle(self, packet: Packet) -> None:
+        self.count += 1
+        self.bytes += packet.wire_length
+        self.emit(packet)
+
+
+class Tap(Element):
+    """Pass-through element invoking a callback per packet (for tracing)."""
+
+    def __init__(self, callback: Callable[[Packet], None], name: str = "") -> None:
+        super().__init__(name)
+        self.callback = callback
+
+    def handle(self, packet: Packet) -> None:
+        self.callback(packet)
+        self.emit(packet)
+
+
+class Filter(Element):
+    """Forwards only packets matching ``predicate``; counts the rest."""
+
+    def __init__(
+        self, predicate: Callable[[Packet], bool], name: str = ""
+    ) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+        self.passed = 0
+        self.filtered = 0
+
+    def handle(self, packet: Packet) -> None:
+        if self.predicate(packet):
+            self.passed += 1
+            self.emit(packet)
+        else:
+            self.filtered += 1
+
+
+class Classifier(Element):
+    """Routes packets to one of several named outputs.
+
+    ``classify`` returns an output name; unmatched packets go to the
+    ``default`` output.  Outputs are attached with :meth:`connect`.
+    """
+
+    def __init__(
+        self,
+        classify: Callable[[Packet], str | None],
+        default: str = "default",
+        name: str = "",
+    ) -> None:
+        super().__init__(name)
+        self.classify = classify
+        self.default = default
+        self.outputs: dict[str, Element] = {}
+
+    def connect(self, output: str, element: Element) -> Element:
+        self.outputs[output] = element
+        return element
+
+    def handle(self, packet: Packet) -> None:
+        key = self.classify(packet)
+        target = self.outputs.get(key if key is not None else self.default)
+        if target is None:
+            target = self.outputs.get(self.default)
+        if target is not None:
+            target.push(packet)
+
+
+class ShaperElement(Element):
+    """Token-bucket shaper that delays matching packets to conform.
+
+    Packets for which ``predicate`` is False bypass the shaper entirely —
+    this is how Boost throttles non-fast-lane traffic while boosted traffic
+    passes straight to the priority queue.  Held packets are released in
+    order via the event loop.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        bucket: TokenBucket,
+        predicate: Callable[[Packet], bool] | None = None,
+        name: str = "",
+        max_backlog: int = 10_000,
+    ) -> None:
+        super().__init__(name)
+        self.loop = loop
+        self.bucket = bucket
+        self.predicate = predicate or (lambda _packet: True)
+        self.max_backlog = max_backlog
+        self._backlog: list[Packet] = []
+        self._draining = False
+        self.delayed = 0
+        self.dropped = 0
+
+    def handle(self, packet: Packet) -> None:
+        if not self.predicate(packet):
+            self.emit(packet)
+            return
+        if self._backlog or not self.bucket.consume(
+            packet.wire_length, self.loop.now
+        ):
+            if len(self._backlog) >= self.max_backlog:
+                self.dropped += 1
+                return
+            self._backlog.append(packet)
+            self.delayed += 1
+            self._schedule_drain()
+            return
+        self.emit(packet)
+
+    #: Floor on re-arm delay, guarding against zero-delay event storms
+    #: if the bucket's arithmetic ever disagrees with itself.
+    MIN_RESCHEDULE = 1e-6
+
+    def _schedule_drain(self) -> None:
+        if self._draining or not self._backlog:
+            return
+        head = self._backlog[0]
+        delay = self.bucket.delay_until_conforming(head.wire_length, self.loop.now)
+        self._draining = True
+        self.loop.schedule(max(delay, self.MIN_RESCHEDULE), self._drain)
+
+    def _drain(self) -> None:
+        self._draining = False
+        if not self._backlog:
+            return
+        head = self._backlog[0]
+        if self.bucket.consume(head.wire_length, self.loop.now):
+            self._backlog.pop(0)
+            self.emit(head)
+        self._schedule_drain()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._backlog)
+
+
+class FunctionElement(Element):
+    """Adapter turning ``fn(packet) -> Packet | None`` into an element.
+
+    Returning None drops the packet; returning a packet forwards it (the
+    function may mutate or replace it).
+    """
+
+    def __init__(
+        self, fn: Callable[[Packet], Packet | None], name: str = ""
+    ) -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def handle(self, packet: Packet) -> None:
+        result = self.fn(packet)
+        if result is not None:
+            self.emit(result)

@@ -1,0 +1,188 @@
+"""The :class:`Packet` type that flows through the simulated network.
+
+A packet is a stack of headers (Ethernet, IPv4/IPv6, TCP/UDP) plus an opaque
+application payload.  Application payloads are modelled as a
+:class:`Payload` object carrying a nominal byte size and optional structured
+content (e.g. an HTTP request with headers, or a TLS ClientHello) so that
+middleboxes can inspect what a real middlebox could see on the wire, and
+*only* that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from .headers import (
+    EthernetHeader,
+    IPProto,
+    IPv4Header,
+    IPv6Header,
+    TCPHeader,
+    UDPHeader,
+)
+
+__all__ = ["Payload", "Packet", "make_tcp_packet", "make_udp_packet"]
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Payload:
+    """Application payload with a nominal size and optional content.
+
+    ``content`` holds a structured application message (for example an
+    :class:`repro.web.page.HTTPRequest` or a TLS record model).  ``size`` is
+    the number of wire bytes the payload occupies, which may exceed the size
+    of the structured content (e.g. a 1400-byte data segment whose content we
+    do not model byte-for-byte).
+    """
+
+    size: int = 0
+    content: Any = None
+    encrypted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("payload size cannot be negative")
+
+
+@dataclass
+class Packet:
+    """A simulated packet: header stack + payload + bookkeeping metadata.
+
+    ``meta`` carries simulation-only annotations (ground-truth labels such as
+    which page-load produced the packet). Middleboxes under test must never
+    read ``meta`` to make decisions — it exists so benchmarks can score
+    accuracy against ground truth.
+    """
+
+    eth: EthernetHeader | None = None
+    ip: IPv4Header | IPv6Header | None = None
+    l4: TCPHeader | UDPHeader | None = None
+    payload: Payload = field(default_factory=Payload)
+    created_at: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def wire_length(self) -> int:
+        """Total bytes this packet occupies on the wire."""
+        total = self.payload.size
+        for header in (self.eth, self.ip, self.l4):
+            if header is not None:
+                total += header.wire_length
+        return total
+
+    @property
+    def is_tcp(self) -> bool:
+        return isinstance(self.l4, TCPHeader)
+
+    @property
+    def is_udp(self) -> bool:
+        return isinstance(self.l4, UDPHeader)
+
+    @property
+    def src_ip(self) -> str | None:
+        return self.ip.src if self.ip is not None else None
+
+    @property
+    def dst_ip(self) -> str | None:
+        return self.ip.dst if self.ip is not None else None
+
+    @property
+    def src_port(self) -> int | None:
+        return self.l4.src_port if self.l4 is not None else None
+
+    @property
+    def dst_port(self) -> int | None:
+        return self.l4.dst_port if self.l4 is not None else None
+
+    @property
+    def proto(self) -> int | None:
+        if self.l4 is None:
+            return None
+        return IPProto.TCP if self.is_tcp else IPProto.UDP
+
+    @property
+    def dscp(self) -> int:
+        return self.ip.dscp if self.ip is not None else 0
+
+    def set_dscp(self, value: int) -> None:
+        """Set the DSCP bits on the IP header (raises if there is none)."""
+        if self.ip is None:
+            raise ValueError("packet has no IP header")
+        self.ip.dscp = value
+
+    def clone(self) -> "Packet":
+        """Deep-copy the packet with a fresh packet id.
+
+        Used by multicast-style delivery and by middleboxes that mirror
+        traffic; header objects are copied so mutation of the clone does not
+        affect the original.
+        """
+        import copy
+
+        new = copy.deepcopy(self)
+        new.packet_id = next(_packet_ids)
+        return new
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used by debug logging."""
+        if self.ip is None or self.l4 is None:
+            return f"<pkt #{self.packet_id} len={self.wire_length}>"
+        proto = "TCP" if self.is_tcp else "UDP"
+        return (
+            f"<pkt #{self.packet_id} {proto} "
+            f"{self.src_ip}:{self.src_port} -> {self.dst_ip}:{self.dst_port} "
+            f"len={self.wire_length} dscp={self.dscp}>"
+        )
+
+
+def make_tcp_packet(
+    src_ip: str,
+    src_port: int,
+    dst_ip: str,
+    dst_port: int,
+    *,
+    payload_size: int = 0,
+    content: Any = None,
+    flags: int = 0,
+    seq: int = 0,
+    ack: int = 0,
+    encrypted: bool = False,
+    dscp: int = 0,
+    created_at: float = 0.0,
+) -> Packet:
+    """Convenience constructor for a TCP/IPv4 packet."""
+    ip = IPv4Header(src=src_ip, dst=dst_ip, proto=IPProto.TCP, dscp=dscp)
+    tcp = TCPHeader(
+        src_port=src_port, dst_port=dst_port, flags=flags, seq=seq, ack=ack
+    )
+    payload = Payload(size=payload_size, content=content, encrypted=encrypted)
+    packet = Packet(ip=ip, l4=tcp, payload=payload, created_at=created_at)
+    ip.total_length = ip.wire_length + tcp.wire_length + payload.size
+    return packet
+
+
+def make_udp_packet(
+    src_ip: str,
+    src_port: int,
+    dst_ip: str,
+    dst_port: int,
+    *,
+    payload_size: int = 0,
+    content: Any = None,
+    dscp: int = 0,
+    created_at: float = 0.0,
+) -> Packet:
+    """Convenience constructor for a UDP/IPv4 packet."""
+    ip = IPv4Header(src=src_ip, dst=dst_ip, proto=IPProto.UDP, dscp=dscp)
+    udp = UDPHeader(
+        src_port=src_port, dst_port=dst_port, length=UDPHeader.WIRE_LENGTH + payload_size
+    )
+    payload = Payload(size=payload_size, content=content)
+    packet = Packet(ip=ip, l4=udp, payload=payload, created_at=created_at)
+    ip.total_length = ip.wire_length + udp.wire_length + payload.size
+    return packet

@@ -1,0 +1,6 @@
+"""Prototype services built on network cookies: Boost (fast lane),
+zero-rating, and AnyLink (proxy-mode slow lanes)."""
+
+from .video import PlaybackStats, VideoPlayer
+
+__all__ = ["PlaybackStats", "VideoPlayer"]

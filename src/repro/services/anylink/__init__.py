@@ -1,0 +1,15 @@
+"""AnyLink: cloud-based slow lanes over cookies, in proxy mode."""
+
+from .proxy import (
+    STANDARD_PROFILES,
+    AnyLinkProxy,
+    LinkProfile,
+    make_anylink_server,
+)
+
+__all__ = [
+    "STANDARD_PROFILES",
+    "AnyLinkProxy",
+    "LinkProfile",
+    "make_anylink_server",
+]

@@ -1,0 +1,26 @@
+"""Boost: the user-defined fast lane (agent + AP daemon + cookie server)."""
+
+from .agent import BoostAgent, BoostPreferences
+from .daemon import BoostDaemon
+from .qos import (
+    BEST_EFFORT_CLASS,
+    FAST_LANE_CLASS,
+    CapacityEstimator,
+    ThrottlePlan,
+    WMM_FAST_LANE_CATEGORY,
+)
+from .server import BOOST_EVENT_LIFETIME, BOOST_SERVICE, make_boost_server
+
+__all__ = [
+    "BoostAgent",
+    "BoostPreferences",
+    "BoostDaemon",
+    "BEST_EFFORT_CLASS",
+    "FAST_LANE_CLASS",
+    "CapacityEstimator",
+    "ThrottlePlan",
+    "WMM_FAST_LANE_CATEGORY",
+    "BOOST_EVENT_LIFETIME",
+    "BOOST_SERVICE",
+    "make_boost_server",
+]

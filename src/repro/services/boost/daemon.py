@@ -1,0 +1,140 @@
+"""The Boost daemon on the home access point (§5.2).
+
+"We implement a python-based daemon on the WiFi router which sniffs
+traffic, looks up cookies and enforces the desired QoS service.  Our
+daemon sniffs the first 3 incoming packets for each flow; if it detects a
+cookie, it tries to match the cookie against a known descriptor and
+verifies its integrity.  If this is successful, it adds this and the
+reverse flow to the fast lane."
+
+Enforcement mirrors the prototype: boosted flows are stamped into the
+fast-lane class (the WMM high-priority queue analogue) and, while any
+boost is active, all other traffic is throttled.  Conflicts between
+household members resolve *last one wins* — only the most recently bound
+boost descriptor's flows ride the fast lane.
+"""
+
+from __future__ import annotations
+
+from ...core import CookieDescriptor, CookieMatcher, DescriptorStore
+from ...core.switch import CookieSwitch
+from ...core.transport import TransportRegistry
+from ...netsim.events import EventLoop, ScheduledEvent
+from ...netsim.packet import Packet
+from ...netsim.topology import HomeNetwork
+from .qos import FAST_LANE_CLASS, CapacityEstimator, ThrottlePlan, WMM_FAST_LANE_CATEGORY
+from .server import BOOST_EVENT_LIFETIME
+
+__all__ = ["BoostDaemon"]
+
+
+class BoostDaemon:
+    """AP-side enforcement: cookie matching + fast lane + throttle.
+
+    Splice :attr:`switch` into the home network's WAN ingress path (pass
+    it in ``HomeNetwork(middleboxes=[daemon.switch])``), then call
+    :meth:`attach` so the daemon can drive the throttle.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        store: DescriptorStore,
+        registry: TransportRegistry | None = None,
+        boost_lifetime: float = BOOST_EVENT_LIFETIME,
+        throttle_plan: ThrottlePlan | None = None,
+        capacity_estimator: CapacityEstimator | None = None,
+        sniff_packets: int = 3,
+    ) -> None:
+        self.loop = loop
+        self.store = store
+        self.matcher = CookieMatcher(store)
+        self.switch = CookieSwitch(
+            self.matcher,
+            loop=loop,
+            registry=registry,
+            applier=self._apply_boost,
+            sniff_packets=sniff_packets,
+            name="boost-daemon",
+        )
+        self.boost_lifetime = boost_lifetime
+        self.throttle_plan = throttle_plan or ThrottlePlan()
+        self.capacity_estimator = capacity_estimator
+        self.home: HomeNetwork | None = None
+        self.active_descriptor_id: int | None = None
+        self._expiry_event: ScheduledEvent | None = None
+        self.boost_events = 0
+        self.superseded_events = 0
+
+    def attach(self, home: HomeNetwork) -> None:
+        """Bind to the home network whose throttle this daemon drives."""
+        self.home = home
+        if self.capacity_estimator is None:
+            self.capacity_estimator = CapacityEstimator(
+                self.loop, true_capacity=lambda: home.downlink.rate_bps
+            )
+
+    # ------------------------------------------------------------------
+    # Service application (called by the cookie switch per packet)
+    # ------------------------------------------------------------------
+    def _apply_boost(self, descriptor: CookieDescriptor, packet: Packet) -> None:
+        if self.active_descriptor_id != descriptor.cookie_id:
+            self._activate(descriptor)
+        if descriptor.cookie_id == self.active_descriptor_id:
+            packet.meta["qos_class"] = FAST_LANE_CLASS
+            packet.meta["qos_class_name"] = WMM_FAST_LANE_CATEGORY
+            packet.meta["service"] = descriptor.service_data
+
+    def _activate(self, descriptor: CookieDescriptor) -> None:
+        """Start (or hand over) the household's boost event.
+
+        Last one wins: a newer descriptor supersedes the current one; "we
+        expect users to resolve conflicts at a human level, if this is not
+        enough".
+        """
+        if self.active_descriptor_id is not None:
+            self.superseded_events += 1
+        self.active_descriptor_id = descriptor.cookie_id
+        self.boost_events += 1
+        if self._expiry_event is not None:
+            self._expiry_event.cancel()
+        self._expiry_event = self.loop.schedule(
+            self.boost_lifetime,
+            lambda cid=descriptor.cookie_id: self._expire(cid),
+        )
+        # Homes without a throttle stage (e.g. WMM-only enforcement)
+        # still get the fast lane; there is just nothing to shape.
+        if self.home is not None and self.home.throttle is not None:
+            rate = self._current_throttle_rate()
+            self.home.activate_throttle(rate)
+
+    def _expire(self, cookie_id: int) -> None:
+        if self.active_descriptor_id != cookie_id:
+            return  # superseded in the meantime
+        self.active_descriptor_id = None
+        self._expiry_event = None
+        if self.home is not None:
+            self.home.deactivate_throttle()
+
+    def cancel_boost(self) -> None:
+        """Explicitly end the current boost event (user pressed stop)."""
+        if self.active_descriptor_id is None:
+            return
+        if self._expiry_event is not None:
+            self._expiry_event.cancel()
+            self._expiry_event = None
+        self.active_descriptor_id = None
+        if self.home is not None:
+            self.home.deactivate_throttle()
+
+    def _current_throttle_rate(self) -> float:
+        assert self.home is not None
+        if self.capacity_estimator is not None:
+            capacity = self.capacity_estimator.probe_once()
+        else:
+            capacity = self.home.downlink.rate_bps
+        return self.throttle_plan.throttle_rate(capacity)
+
+    @property
+    def boost_active(self) -> bool:
+        return self.active_descriptor_id is not None

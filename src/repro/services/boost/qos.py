@@ -1,0 +1,121 @@
+"""QoS provisioning for the Boost fast lane.
+
+The prototype provisions its fast lane with two mechanisms (§5.2): the
+high-bandwidth wireless WMM queue for boosted traffic, and a throttle on
+everything else "to ensure certain capacity for boosted traffic through
+the last-mile connection", where "the actual throttling rate depends on
+the capacity of the WAN connection which we estimate using periodic active
+tests".
+
+:class:`CapacityEstimator` models those active tests; :class:`ThrottlePlan`
+turns an estimate into a throttle rate (the paper's Fig. 5(b) scenario is
+a 6 Mb/s line throttled to 1 Mb/s).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ...netsim.events import EventLoop
+
+__all__ = [
+    "FAST_LANE_CLASS",
+    "BEST_EFFORT_CLASS",
+    "CapacityEstimator",
+    "ThrottlePlan",
+    "WMM_FAST_LANE_CATEGORY",
+]
+
+FAST_LANE_CLASS = 0
+BEST_EFFORT_CLASS = 1
+#: The WMM access category boosted traffic rides in.
+WMM_FAST_LANE_CATEGORY = "video"
+
+
+class CapacityEstimator:
+    """Periodic active capacity tests against the WAN link.
+
+    ``true_capacity`` supplies ground truth (in simulation, the configured
+    link rate); each probe observes it with multiplicative noise, and the
+    estimate is an EWMA over probes — enough structure to study how
+    mis-estimation affects the throttle.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        true_capacity: Callable[[], float],
+        interval: float = 60.0,
+        noise: float = 0.05,
+        smoothing: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("probe interval must be positive")
+        if not 0 <= noise < 1:
+            raise ValueError("noise must be in [0, 1)")
+        self.loop = loop
+        self.true_capacity = true_capacity
+        self.interval = interval
+        self.noise = noise
+        self.smoothing = smoothing
+        self.rng = random.Random(seed)
+        self.estimate: float | None = None
+        self.probes_run = 0
+        self._running = False
+
+    def probe_once(self) -> float:
+        """Run one active test and fold it into the estimate."""
+        observed = self.true_capacity() * (
+            1.0 + self.rng.uniform(-self.noise, self.noise)
+        )
+        if self.estimate is None:
+            self.estimate = observed
+        else:
+            self.estimate = (
+                (1 - self.smoothing) * self.estimate + self.smoothing * observed
+            )
+        self.probes_run += 1
+        return self.estimate
+
+    def start(self) -> None:
+        """Probe now and then every ``interval`` seconds."""
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.probe_once()
+        self.loop.schedule(self.interval, self._tick)
+
+
+@dataclass
+class ThrottlePlan:
+    """Computes the non-boost throttle rate from a capacity estimate.
+
+    ``reserve_fraction`` of the estimated capacity is reserved for the
+    fast lane; the remainder (never below ``floor_bps``) throttles the
+    rest.  With the paper's 6 Mb/s line and the default fraction this
+    yields the 1 Mb/s throttle of Fig. 5(b).
+    """
+
+    reserve_fraction: float = 5.0 / 6.0
+    floor_bps: float = 250_000.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.reserve_fraction < 1:
+            raise ValueError("reserve_fraction must be in (0, 1)")
+        if self.floor_bps <= 0:
+            raise ValueError("floor must be positive")
+
+    def throttle_rate(self, capacity_bps: float) -> float:
+        """The rate to shape non-boosted traffic to."""
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        return max(self.floor_bps, capacity_bps * (1.0 - self.reserve_fraction))

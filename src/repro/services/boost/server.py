@@ -1,0 +1,63 @@
+"""The Boost cookie server.
+
+"We keep cookie descriptors at a server already known to our Boost agents.
+We store them in a persistent SQL database and expose a JSON API for users
+to acquire them. ... A boost event (and the related cookie descriptor)
+expires by default after one hour."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...core import (
+    AccessPolicy,
+    CookieAttributes,
+    CookieServer,
+    ServiceOffering,
+    SQLiteDescriptorStore,
+)
+
+__all__ = ["BOOST_SERVICE", "BOOST_EVENT_LIFETIME", "make_boost_server"]
+
+BOOST_SERVICE = "Boost"
+BOOST_EVENT_LIFETIME = 3600.0  # one hour
+
+
+def make_boost_server(
+    clock: Callable[[], float],
+    policy: AccessPolicy | None = None,
+    db_path: str | None = None,
+    lifetime: float = BOOST_EVENT_LIFETIME,
+) -> tuple[CookieServer, SQLiteDescriptorStore | None]:
+    """Build a cookie server offering the Boost fast lane.
+
+    When ``db_path`` is given, issued descriptors are also persisted to a
+    SQLite store (returned second) that survives AP restarts, as the
+    prototype's SQL database did; otherwise the second element is None.
+    """
+
+    def boost_attributes(now: float) -> CookieAttributes:
+        # Shared so the home router may cache the descriptor for other
+        # devices; expires with the boost event.
+        return CookieAttributes(
+            shared=True,
+            apply_reverse=True,
+            expires_at=now + lifetime,
+            transports=("http", "tls"),
+        )
+
+    server = CookieServer(clock=clock, policy=policy)
+    server.offer(
+        ServiceOffering(
+            name=BOOST_SERVICE,
+            description="user-defined fast lane over the home last mile",
+            lifetime=lifetime,
+            attribute_factory=boost_attributes,
+        )
+    )
+    persistent: SQLiteDescriptorStore | None = None
+    if db_path is not None:
+        persistent = SQLiteDescriptorStore(db_path)
+        server.attach_enforcement_store(persistent)
+    return server, persistent

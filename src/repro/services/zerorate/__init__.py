@@ -1,0 +1,21 @@
+"""Cookie-based zero-rating: the two-counter middlebox and billing."""
+
+from .accounting import AccountingLedger, BillingPlan, Invoice
+from .stateless import StatelessZeroRater
+from .middlebox import (
+    ZERO_RATE_SNIFF_PACKETS,
+    SubscriberCounters,
+    ZeroRatingMiddlebox,
+    flow_key_to_fivetuple,
+)
+
+__all__ = [
+    "AccountingLedger",
+    "BillingPlan",
+    "Invoice",
+    "ZERO_RATE_SNIFF_PACKETS",
+    "SubscriberCounters",
+    "ZeroRatingMiddlebox",
+    "flow_key_to_fivetuple",
+    "StatelessZeroRater",
+]

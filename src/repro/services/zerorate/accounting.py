@@ -1,0 +1,95 @@
+"""Billing on top of the zero-rating counters.
+
+The middlebox counts; this module turns counters into the things carriers
+actually operate: data caps, overage, invoices, and the "your free app
+doesn't count" arithmetic that motivates zero-rating in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .middlebox import SubscriberCounters, ZeroRatingMiddlebox
+
+__all__ = ["BillingPlan", "Invoice", "AccountingLedger"]
+
+GB = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class BillingPlan:
+    """A subscriber's data plan."""
+
+    name: str = "standard"
+    monthly_cap_bytes: int = 2 * GB
+    overage_per_gb: float = 10.0
+    base_price: float = 30.0
+
+
+@dataclass
+class Invoice:
+    """One billing-cycle statement for one subscriber."""
+
+    subscriber: str
+    plan: BillingPlan
+    charged_bytes: int
+    free_bytes: int
+    base_price: float
+    overage: float
+
+    @property
+    def total(self) -> float:
+        return self.base_price + self.overage
+
+    @property
+    def cap_used_fraction(self) -> float:
+        if self.plan.monthly_cap_bytes == 0:
+            return 0.0
+        return self.charged_bytes / self.plan.monthly_cap_bytes
+
+
+class AccountingLedger:
+    """Maps subscribers to plans and produces invoices from middlebox
+    counters.  Zero-rated bytes never count against the cap — that is the
+    entire product."""
+
+    def __init__(self, default_plan: BillingPlan | None = None) -> None:
+        self.default_plan = default_plan or BillingPlan()
+        self.plans: dict[str, BillingPlan] = {}
+
+    def enroll(self, subscriber: str, plan: BillingPlan) -> None:
+        self.plans[subscriber] = plan
+
+    def plan_of(self, subscriber: str) -> BillingPlan:
+        return self.plans.get(subscriber, self.default_plan)
+
+    def over_cap(self, subscriber: str, counters: SubscriberCounters) -> bool:
+        """Has this subscriber's *charged* usage exceeded the cap?"""
+        return counters.charged_bytes > self.plan_of(subscriber).monthly_cap_bytes
+
+    def invoice(self, subscriber: str, counters: SubscriberCounters) -> Invoice:
+        plan = self.plan_of(subscriber)
+        overage_bytes = max(0, counters.charged_bytes - plan.monthly_cap_bytes)
+        overage = (overage_bytes / GB) * plan.overage_per_gb
+        return Invoice(
+            subscriber=subscriber,
+            plan=plan,
+            charged_bytes=counters.charged_bytes,
+            free_bytes=counters.free_bytes,
+            base_price=plan.base_price,
+            overage=overage,
+        )
+
+    def invoice_all(self, middlebox: ZeroRatingMiddlebox) -> list[Invoice]:
+        """Statements for every subscriber the middlebox has seen."""
+        return [
+            self.invoice(subscriber, counters)
+            for subscriber, counters in sorted(middlebox.counters.items())
+        ]
+
+    def savings_report(self, middlebox: ZeroRatingMiddlebox) -> dict[str, float]:
+        """Per-subscriber fraction of traffic that rode for free."""
+        return {
+            subscriber: counters.free_fraction
+            for subscriber, counters in sorted(middlebox.counters.items())
+        }

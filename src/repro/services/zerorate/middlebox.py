@@ -1,0 +1,197 @@
+"""The zero-rating middlebox (§4.6).
+
+"Our middle-box keeps two counters per IP address (one for free and
+another for charged data), and enforces the service in software for both
+directions of a flow."  For each packet it does one of three things:
+search for a cookie (first packets of a flow), search-and-verify (a packet
+that carries one), or simply map the packet to its flow's service — the
+task mix that determines Fig. 4's throughput curve.
+
+This is the performance-critical path of the repository, so unlike
+:class:`repro.core.switch.CookieSwitch` it keeps its own minimal flow
+dictionary instead of the full :class:`FlowTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...core.matcher import CookieMatcher
+from ...core.transport import TransportRegistry, default_registry
+from ...netsim.flow import FiveTuple
+from ...netsim.middlebox import Element
+from ...netsim.packet import Packet
+
+__all__ = [
+    "SubscriberCounters",
+    "ZeroRatingMiddlebox",
+    "ZERO_RATE_SNIFF_PACKETS",
+    "flow_key_to_fivetuple",
+]
+
+
+def flow_key_to_fivetuple(key: tuple) -> FiveTuple:
+    """Convert the middlebox's inline flow key to a canonical FiveTuple.
+
+    The inline key is ``((ip, port), (ip, port), proto)`` with endpoints
+    in lexicographic order — the same canonical ordering
+    :meth:`FiveTuple.canonical` uses — so the conversion is direct.  Used
+    to hand resolved flows to :class:`repro.core.offload.HardwarePrefilter`.
+    """
+    (a_ip, a_port), (b_ip, b_port), proto = key
+    return FiveTuple(a_ip, a_port, b_ip, b_port, proto)
+
+ZERO_RATE_SNIFF_PACKETS = 3
+
+
+@dataclass
+class SubscriberCounters:
+    """The paper's two per-IP counters."""
+
+    free_bytes: int = 0
+    charged_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.free_bytes + self.charged_bytes
+
+    @property
+    def free_fraction(self) -> float:
+        total = self.total_bytes
+        return self.free_bytes / total if total else 0.0
+
+
+@dataclass
+class _FlowState:
+    """Per-flow fast-path state: the decision plus the sniff countdown."""
+
+    zero_rated: bool = False
+    packets_seen: int = 0
+    subscriber_ip: str = ""
+    service: object = None
+
+
+class ZeroRatingMiddlebox(Element):
+    """Counts subscriber traffic as free (cookied) or charged.
+
+    ``is_subscriber`` decides which side of a packet is the subscriber
+    (default: any RFC1918-ish "10." / "192.168." address).  Both directions
+    of a flow share one state entry keyed on the canonical 5-tuple.
+    """
+
+    def __init__(
+        self,
+        matcher: CookieMatcher,
+        clock: Callable[[], float],
+        registry: TransportRegistry | None = None,
+        is_subscriber: Callable[[str], bool] | None = None,
+        sniff_packets: int = ZERO_RATE_SNIFF_PACKETS,
+        on_flow_resolved: Callable[[tuple, "_FlowState"], None] | None = None,
+        name: str = "zero-rating",
+    ) -> None:
+        super().__init__(name)
+        self.matcher = matcher
+        self.clock = clock
+        self.registry = registry or default_registry()
+        self.is_subscriber = is_subscriber or (
+            lambda ip: ip.startswith("10.") or ip.startswith("192.168.")
+        )
+        self.sniff_packets = sniff_packets
+        #: Invoked once per flow the moment its fate is final (cookie
+        #: matched, or the sniff window closed without one).  The §4.6
+        #: hardware co-design hooks here to offload the rest of the flow.
+        self.on_flow_resolved = on_flow_resolved
+        self.counters: dict[str, SubscriberCounters] = {}
+        self._flows: dict[tuple, _FlowState] = {}
+        self.packets_processed = 0
+        self.cookie_hits = 0
+        self.cookie_misses = 0
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def handle(self, packet: Packet) -> None:
+        self.packets_processed += 1
+        ip = packet.ip
+        l4 = packet.l4
+        if ip is None or l4 is None:
+            self.emit(packet)
+            return
+        # Canonical bidirectional key without FlowTable overhead.
+        a = (ip.src, l4.src_port)
+        b = (ip.dst, l4.dst_port)
+        key = (a, b, ip.proto) if a <= b else (b, a, ip.proto)
+        state = self._flows.get(key)
+        if state is None:
+            state = _FlowState(
+                subscriber_ip=self._subscriber_of(ip.src, ip.dst)
+            )
+            self._flows[key] = state
+        state.packets_seen += 1
+
+        if not state.zero_rated and state.packets_seen <= self.sniff_packets:
+            found = self.registry.extract(packet)
+            if found is not None:
+                descriptor = self.matcher.match(found[0], self.clock())
+                if descriptor is not None:
+                    state.zero_rated = True
+                    state.service = descriptor.service_data
+                    self.cookie_hits += 1
+                    self._resolve(key, state)
+                else:
+                    self.cookie_misses += 1
+            elif state.packets_seen == self.sniff_packets:
+                # Sniff window closed with no cookie: charged for good.
+                self._resolve(key, state)
+
+        self._account(state, packet)
+        if state.zero_rated:
+            packet.meta["zero_rated"] = True
+        self.emit(packet)
+
+    def _resolve(self, key: tuple, state: _FlowState) -> None:
+        if self.on_flow_resolved is not None:
+            self.on_flow_resolved(key, state)
+
+    def _subscriber_of(self, src: str, dst: str) -> str:
+        if self.is_subscriber(src):
+            return src
+        if self.is_subscriber(dst):
+            return dst
+        return src  # transit traffic: bill the sender
+
+    def _account(self, state: _FlowState, packet: Packet) -> None:
+        counters = self.counters.get(state.subscriber_ip)
+        if counters is None:
+            counters = SubscriberCounters()
+            self.counters[state.subscriber_ip] = counters
+        if state.zero_rated:
+            counters.free_bytes += packet.wire_length
+        else:
+            counters.charged_bytes += packet.wire_length
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def counters_for(self, subscriber_ip: str) -> SubscriberCounters:
+        """Counters for one subscriber (zeros if never seen)."""
+        return self.counters.get(subscriber_ip, SubscriberCounters())
+
+    def expire_flows(self, keep_last: int = 0) -> int:
+        """Drop flow state (a real box ages it; benchmarks reset it).
+
+        Returns how many entries were dropped.
+        """
+        if keep_last <= 0:
+            dropped = len(self._flows)
+            self._flows.clear()
+            return dropped
+        keys = list(self._flows)
+        for key in keys[:-keep_last]:
+            del self._flows[key]
+        return len(keys) - keep_last
+
+    @property
+    def tracked_flows(self) -> int:
+        return len(self._flows)

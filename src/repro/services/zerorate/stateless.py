@@ -1,0 +1,94 @@
+"""Stateless (packet-based) zero-rating (§4.6).
+
+"Transport protocols that guarantee a cookie is contained within a single
+packet (e.g., IPv6 extension header, QUIC) ... In the extreme, if every
+packet carries a cookie, flow-related state is eliminated (in the expense
+of bandwidth overhead and higher matching rates)."
+
+:class:`StatelessZeroRater` is that extreme: no flow table at all.  Every
+packet is judged on its own cookie — present and valid means free, else
+charged — so a box can restart (or a flow can migrate between boxes)
+without losing accounting state.  Use packet-granularity descriptors and
+a single-packet carrier (IPv6 extension header or the UDP shim).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...core.matcher import CookieMatcher
+from ...core.transport import TransportRegistry, default_registry
+from ...netsim.middlebox import Element
+from ...netsim.packet import Packet
+from .middlebox import SubscriberCounters
+
+__all__ = ["StatelessZeroRater"]
+
+
+class StatelessZeroRater(Element):
+    """Per-packet zero-rating with zero flow state.
+
+    Keeps only the per-subscriber counters (which a real box persists
+    anyway for billing); everything else is recomputed per packet.
+    """
+
+    def __init__(
+        self,
+        matcher: CookieMatcher,
+        clock: Callable[[], float],
+        registry: TransportRegistry | None = None,
+        is_subscriber: Callable[[str], bool] | None = None,
+        name: str = "zero-rating-stateless",
+    ) -> None:
+        super().__init__(name)
+        self.matcher = matcher
+        self.clock = clock
+        self.registry = registry or default_registry()
+        self.is_subscriber = is_subscriber or (
+            lambda ip: ip.startswith("10.") or ip.startswith("192.168.")
+        )
+        self.counters: dict[str, SubscriberCounters] = {}
+        self.packets_processed = 0
+        self.cookie_hits = 0
+        self.cookie_misses = 0
+
+    def handle(self, packet: Packet) -> None:
+        self.packets_processed += 1
+        ip = packet.ip
+        if ip is None:
+            self.emit(packet)
+            return
+        free = False
+        found = self.registry.extract(packet)
+        if found is not None:
+            if self.matcher.match(found[0], self.clock()) is not None:
+                free = True
+                self.cookie_hits += 1
+                packet.meta["zero_rated"] = True
+            else:
+                self.cookie_misses += 1
+        subscriber = self._subscriber_of(ip.src, ip.dst)
+        counters = self.counters.get(subscriber)
+        if counters is None:
+            counters = SubscriberCounters()
+            self.counters[subscriber] = counters
+        if free:
+            counters.free_bytes += packet.wire_length
+        else:
+            counters.charged_bytes += packet.wire_length
+        self.emit(packet)
+
+    def _subscriber_of(self, src: str, dst: str) -> str:
+        if self.is_subscriber(src):
+            return src
+        if self.is_subscriber(dst):
+            return dst
+        return src
+
+    def counters_for(self, subscriber_ip: str) -> SubscriberCounters:
+        return self.counters.get(subscriber_ip, SubscriberCounters())
+
+    @property
+    def tracked_flows(self) -> int:
+        """Always zero — the whole point."""
+        return 0

@@ -1,0 +1,58 @@
+"""User studies: the 161-home Boost deployment (Fig. 1), the 1000-user
+zero-rating survey (Fig. 2), and curated-program coverage analysis (§2)."""
+
+from .alexa import FIG1_SITES, AlexaIndex, RankedSite
+from .appstore import (
+    CATEGORY_COUNTS,
+    POPULARITY_BUCKETS,
+    POPULARITY_COUNTS,
+    App,
+    AppCatalog,
+)
+from .boost_study import PUBLISHED_FIG1, BoostStudy, BoostStudyResult
+from .coverage import (
+    LICENSED_STATIONS,
+    MUSIC_FREEDOM_COVERED_MUSIC_APPS,
+    MUSIC_FREEDOM_STATIONS,
+    MUSIC_SURVEY_APPS,
+    CoverageReport,
+    ZeroRatingProgram,
+    analyze_coverage,
+    builtin_programs,
+    ndpi_app_coverage,
+)
+from .preferences import (
+    AppPreferenceSampler,
+    WebsitePreferenceSampler,
+    WeightedSampler,
+)
+from .survey import PUBLISHED_FIG2, SurveyResult, ZeroRatingSurvey
+
+__all__ = [
+    "FIG1_SITES",
+    "AlexaIndex",
+    "RankedSite",
+    "CATEGORY_COUNTS",
+    "POPULARITY_BUCKETS",
+    "POPULARITY_COUNTS",
+    "App",
+    "AppCatalog",
+    "PUBLISHED_FIG1",
+    "BoostStudy",
+    "BoostStudyResult",
+    "LICENSED_STATIONS",
+    "MUSIC_FREEDOM_COVERED_MUSIC_APPS",
+    "MUSIC_FREEDOM_STATIONS",
+    "MUSIC_SURVEY_APPS",
+    "CoverageReport",
+    "ZeroRatingProgram",
+    "analyze_coverage",
+    "builtin_programs",
+    "ndpi_app_coverage",
+    "AppPreferenceSampler",
+    "WebsitePreferenceSampler",
+    "WeightedSampler",
+    "PUBLISHED_FIG2",
+    "SurveyResult",
+    "ZeroRatingSurvey",
+]

@@ -1,0 +1,100 @@
+"""A website popularity index (the Alexa-ranking stand-in).
+
+Fig. 1 plots each boosted website against its Alexa rank; the paper's
+takeaway is the *spread* — head sites like netflix.com next to a Greek
+radio station ranked past 5000.  This catalog contains the named sites
+from Fig. 1 with plausible ranks plus a synthetic long tail, giving the
+preference sampler a realistic rank axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RankedSite", "AlexaIndex", "FIG1_SITES"]
+
+
+@dataclass(frozen=True)
+class RankedSite:
+    """A website with its popularity rank (1 = most popular)."""
+
+    domain: str
+    rank: int
+    category: str = "other"
+
+
+#: The sites Fig. 1 names, in rank order (ranks approximate 2015 values).
+FIG1_SITES: tuple[RankedSite, ...] = (
+    RankedSite("mail.google.com", 1, "email"),
+    RankedSite("youtube.com", 2, "video"),
+    RankedSite("facebook.com", 3, "social"),
+    RankedSite("netflix.com", 28, "video"),
+    RankedSite("cnn.com", 75, "news"),
+    RankedSite("hulu.com", 223, "video"),
+    RankedSite("speedtest.net", 310, "tools"),
+    RankedSite("nbc.com", 420, "video"),
+    RankedSite("hbo.com", 480, "video"),
+    RankedSite("abc.go.com", 530, "video"),
+    RankedSite("espn.com", 120, "sports"),
+    RankedSite("foxnews.com", 200, "news"),
+    RankedSite("ticketmaster.com", 640, "ticketing"),
+    RankedSite("espncricinfo.com", 890, "sports"),
+    RankedSite("usanetwork.com", 1400, "video"),
+    RankedSite("cucirca.eu", 4200, "video"),
+    RankedSite("starsports.com", 5100, "sports"),
+    RankedSite("ondemandkorea.com", 5600, "video"),
+    RankedSite("skai.gr", 6800, "news"),
+    RankedSite("intercallonline.com", 8200, "voip"),
+)
+
+
+class AlexaIndex:
+    """Popularity lookup plus a synthetic long tail.
+
+    The tail sites (``tail-site-<rank>.example``) fill ranks so that a
+    sampler can express "a website only this one user cares about" — 43 %
+    of Fig. 1's preferences are exactly that.
+    """
+
+    def __init__(
+        self,
+        named: tuple[RankedSite, ...] = FIG1_SITES,
+        tail_count: int = 600,
+        max_rank: int = 12_000,
+    ) -> None:
+        if tail_count <= 0:
+            raise ValueError("tail_count must be positive")
+        self._sites: dict[str, RankedSite] = {s.domain: s for s in named}
+        used_ranks = {s.rank for s in named}
+        # Tail ranks spread geometrically from 100 to max_rank.
+        ratio = (max_rank / 100.0) ** (1.0 / tail_count)
+        rank = 100.0
+        added = 0
+        while added < tail_count:
+            rank *= ratio
+            candidate = int(rank)
+            while candidate in used_ranks:
+                candidate += 1
+            used_ranks.add(candidate)
+            domain = f"tail-site-{candidate}.example"
+            self._sites[domain] = RankedSite(domain, candidate, "tail")
+            added += 1
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._sites
+
+    def rank(self, domain: str) -> int | None:
+        """The popularity index of a domain, or None if unranked."""
+        site = self._sites.get(domain)
+        return site.rank if site is not None else None
+
+    def sites(self) -> list[RankedSite]:
+        """All sites, most popular first."""
+        return sorted(self._sites.values(), key=lambda s: s.rank)
+
+    def named_sites(self) -> list[RankedSite]:
+        """Only the real (non-synthetic) sites."""
+        return [s for s in self.sites() if s.category != "tail"]

@@ -1,0 +1,131 @@
+"""The 161-home Boost deployment study (Fig. 1).
+
+"Our first version of Boost ... was made available to 400 home users,
+during an internal dogfood test of the OnHub home WiFi router.  161 users
+(40 %) installed the extension" and expressed website preferences whose
+distribution Fig. 1 plots: "43 % of expressed preferences were unique ...
+while the median popularity index of prioritized websites was 223."
+
+:class:`BoostStudy` replays that deployment against the calibrated
+preference sampler and reports the same aggregates.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .alexa import AlexaIndex
+from .preferences import WebsitePreferenceSampler
+
+__all__ = ["BoostStudyResult", "BoostStudy", "PUBLISHED_FIG1"]
+
+#: The aggregates the paper reports for Fig. 1.
+PUBLISHED_FIG1 = {
+    "homes_offered": 400,
+    "homes_installed": 161,
+    "install_rate": 0.40,
+    "unique_preference_fraction": 0.43,
+    "median_popularity_index": 223,
+}
+
+
+@dataclass
+class BoostStudyResult:
+    """Everything Fig. 1 shows, plus the per-home raw data."""
+
+    homes_offered: int
+    homes_installed: int
+    preferences_by_home: list[list[str]] = field(default_factory=list)
+    site_counts: Counter = field(default_factory=Counter)
+    site_ranks: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def install_rate(self) -> float:
+        return self.homes_installed / self.homes_offered
+
+    @property
+    def total_preferences(self) -> int:
+        return sum(self.site_counts.values())
+
+    @property
+    def unique_preference_fraction(self) -> float:
+        """Preferences whose website was picked by exactly one home."""
+        singletons = sum(1 for count in self.site_counts.values() if count == 1)
+        total = self.total_preferences
+        return singletons / total if total else 0.0
+
+    @property
+    def median_popularity_index(self) -> float:
+        """Median rank over *expressed preferences* (popular sites counted
+        once per home that picked them)."""
+        ranks: list[int] = []
+        for domain, count in self.site_counts.items():
+            ranks.extend([self.site_ranks[domain]] * count)
+        return statistics.median(ranks) if ranks else 0.0
+
+    def figure1_rows(self, min_users: int = 2) -> list[tuple[str, int, int]]:
+        """(domain, homes, rank) rows like Fig. 1's labelled points —
+        named sites picked by at least ``min_users`` homes, plus a sample
+        of singletons, ordered by rank."""
+        rows = [
+            (domain, count, self.site_ranks[domain])
+            for domain, count in self.site_counts.items()
+            if count >= min_users or not domain.startswith("tail-site-")
+        ]
+        return sorted(rows, key=lambda r: r[2])
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "homes_offered": self.homes_offered,
+            "homes_installed": self.homes_installed,
+            "install_rate": round(self.install_rate, 3),
+            "total_preferences": self.total_preferences,
+            "distinct_sites": len(self.site_counts),
+            "unique_preference_fraction": round(self.unique_preference_fraction, 3),
+            "median_popularity_index": self.median_popularity_index,
+        }
+
+
+class BoostStudy:
+    """Simulates the OnHub dogfood deployment."""
+
+    def __init__(
+        self,
+        homes_offered: int = 400,
+        install_rate: float = 0.4025,  # 161 / 400
+        sampler: WebsitePreferenceSampler | None = None,
+        seed: int = 2016,
+    ) -> None:
+        if homes_offered <= 0:
+            raise ValueError("need at least one home")
+        if not 0 < install_rate <= 1:
+            raise ValueError("install_rate must be in (0, 1]")
+        self.homes_offered = homes_offered
+        self.install_rate = install_rate
+        self.rng = random.Random(seed)
+        self.sampler = sampler or WebsitePreferenceSampler(seed=seed)
+
+    def run(self) -> BoostStudyResult:
+        """Install in ~40 % of homes, collect each installer's preferences."""
+        installed = sum(
+            1 for _ in range(self.homes_offered) if self.rng.random() < self.install_rate
+        )
+        result = BoostStudyResult(
+            homes_offered=self.homes_offered, homes_installed=installed
+        )
+        index: AlexaIndex = self.sampler.index
+        for _home in range(installed):
+            picks = self.sampler.draw_user_preferences()
+            result.preferences_by_home.append([s.domain for s in picks])
+            for site in picks:
+                result.site_counts[site.domain] += 1
+                result.site_ranks[site.domain] = site.rank
+        # Record ranks for lookup completeness.
+        for domain in result.site_counts:
+            if domain not in result.site_ranks:
+                rank = index.rank(domain)
+                result.site_ranks[domain] = rank if rank is not None else 0
+        return result

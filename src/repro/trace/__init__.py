@@ -1,0 +1,20 @@
+"""Trace workloads: the synthetic campus wireless trace (§4.6) and a
+MoonGen-style cookie-flow generator (Fig. 4)."""
+
+from .campus import PUBLISHED_TRACE, CampusTraceGenerator, CampusTraceStats
+from .moongen import PacketGenerator, build_descriptor_pool
+from .records import FlowRecord, flow_to_packets
+from .stats import ThroughputSample, percentile, throughput_report
+
+__all__ = [
+    "PUBLISHED_TRACE",
+    "CampusTraceGenerator",
+    "CampusTraceStats",
+    "PacketGenerator",
+    "build_descriptor_pool",
+    "FlowRecord",
+    "flow_to_packets",
+    "ThroughputSample",
+    "percentile",
+    "throughput_report",
+]

@@ -1,0 +1,87 @@
+"""Flow records: the unit both trace generators produce.
+
+A :class:`FlowRecord` describes one HTTP(S) flow compactly;``to_packets``
+expands a record into the packet sequence a middlebox would see, with an
+optional cookie on the first packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.cookie import Cookie
+from ..core.transport import TransportRegistry, default_registry
+from ..netsim.appmsg import TLSClientHello
+from ..netsim.packet import Packet, make_tcp_packet
+
+__all__ = ["FlowRecord", "flow_to_packets"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One flow in a trace."""
+
+    start_time: float
+    client_ip: str
+    client_port: int
+    server_ip: str
+    server_port: int
+    packets: int
+    avg_packet_size: int = 800
+    https: bool = True
+    sni: str = ""
+
+    @property
+    def bytes(self) -> int:
+        return self.packets * self.avg_packet_size
+
+
+def flow_to_packets(
+    record: FlowRecord,
+    cookie: Cookie | None = None,
+    registry: TransportRegistry | None = None,
+    downlink_fraction: float = 0.75,
+) -> Iterator[Packet]:
+    """Expand a flow record into packets.
+
+    The first packet is the client's request (ClientHello with the
+    record's SNI) and carries ``cookie`` if given; the rest split between
+    directions by ``downlink_fraction``.
+    """
+    registry = registry or default_registry()
+    first = make_tcp_packet(
+        record.client_ip,
+        record.client_port,
+        record.server_ip,
+        record.server_port,
+        payload_size=min(record.avg_packet_size, 400),
+        content=TLSClientHello(sni=record.sni) if record.https else None,
+        created_at=record.start_time,
+    )
+    if cookie is not None:
+        registry.attach(first, cookie)
+    yield first
+    remaining = record.packets - 1
+    downlink = int(remaining * downlink_fraction)
+    uplink = remaining - downlink
+    for _ in range(uplink):
+        yield make_tcp_packet(
+            record.client_ip,
+            record.client_port,
+            record.server_ip,
+            record.server_port,
+            payload_size=record.avg_packet_size,
+            encrypted=record.https,
+            created_at=record.start_time,
+        )
+    for _ in range(downlink):
+        yield make_tcp_packet(
+            record.server_ip,
+            record.server_port,
+            record.client_ip,
+            record.client_port,
+            payload_size=record.avg_packet_size,
+            encrypted=record.https,
+            created_at=record.start_time,
+        )

@@ -1,0 +1,66 @@
+"""Small statistics helpers shared by trace tooling and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["percentile", "ThroughputSample", "throughput_report"]
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    """Linear-interpolated percentile of an already *sorted* list.
+
+    ``q`` in [0, 100].  Kept dependency-free so hot benchmark paths don't
+    pull in numpy for a single number.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = (len(sorted_values) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return float(
+        sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction
+    )
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """One middlebox throughput measurement."""
+
+    packet_size: int
+    packets_per_flow: int
+    packets_processed: int
+    elapsed_s: float
+
+    @property
+    def packets_per_second(self) -> float:
+        return self.packets_processed / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def gbps(self) -> float:
+        """Forwarding rate in gigabits/second at this packet size."""
+        return self.packets_per_second * self.packet_size * 8 / 1e9
+
+    @property
+    def new_flows_per_second(self) -> float:
+        flows = self.packets_processed / self.packets_per_flow
+        return flows / self.elapsed_s if self.elapsed_s else 0.0
+
+
+def throughput_report(samples: list[ThroughputSample]) -> str:
+    """Render samples as the Fig. 4 series (one row per measurement)."""
+    lines = [
+        f"{'pkt_size':>9} {'pkts/flow':>10} {'Mpps':>8} {'Gbps':>8} {'flows/s':>10}"
+    ]
+    for sample in samples:
+        lines.append(
+            f"{sample.packet_size:>9} {sample.packets_per_flow:>10} "
+            f"{sample.packets_per_second / 1e6:>8.3f} {sample.gbps:>8.3f} "
+            f"{sample.new_flows_per_second:>10.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Web workload substrate: page models, the shared server pool (real CDN
+co-hosting), and a browser that generates packet streams with the agent
+vantage point the Boost extension used."""
+
+from .browser import Browser, RequestContext, Tab
+from .page import PageModel, ResourceFlow, ServerInfo
+from .sites import (
+    PUBLISHED_PAGE_STATS,
+    build_cnn,
+    build_facebook_background,
+    build_skai,
+    build_youtube,
+    site_catalog,
+)
+
+__all__ = [
+    "Browser",
+    "RequestContext",
+    "Tab",
+    "PageModel",
+    "ResourceFlow",
+    "ServerInfo",
+    "PUBLISHED_PAGE_STATS",
+    "build_cnn",
+    "build_facebook_background",
+    "build_skai",
+    "build_youtube",
+    "site_catalog",
+]

@@ -1,0 +1,81 @@
+"""The shared server pool behind the page models.
+
+Co-hosting is the crux of the accuracy experiments: the *same* CDN and
+ad-network servers appear in many different page loads, so any mechanism
+that matches on destination addresses confuses one site's traffic with
+another's.  This module owns the server objects; page models reference
+them, guaranteeing the overlaps are real (same IPs) rather than cosmetic.
+"""
+
+from __future__ import annotations
+
+from .page import ServerInfo
+
+__all__ = [
+    "CNN_SERVERS",
+    "AKAMAI_SERVERS",
+    "CLOUDFRONT_SERVERS",
+    "FASTLY_SERVERS",
+    "DOUBLECLICK_SERVERS",
+    "GOOGLE_SERVERS",
+    "YOUTUBE_SERVERS",
+    "GOOGLEVIDEO_SERVERS",
+    "YTIMG_SERVERS",
+    "FACEBOOK_SERVERS",
+    "TWITTER_SERVERS",
+    "TRACKER_SERVERS",
+    "MISC_AD_SERVERS",
+    "SKAI_SERVERS",
+    "RESOLVER",
+    "PREFETCH_SERVERS",
+]
+
+
+def _farm(
+    count: int,
+    hostname_fmt: str,
+    ip_fmt: str,
+    operator: str,
+    is_cdn: bool = False,
+) -> list[ServerInfo]:
+    """Build ``count`` servers with numbered hostnames and IPs."""
+    return [
+        ServerInfo(
+            hostname=hostname_fmt.format(i=i),
+            ip=ip_fmt.format(i=i),
+            operator=operator,
+            is_cdn=is_cdn,
+        )
+        for i in range(1, count + 1)
+    ]
+
+
+# Origin servers operated by the site owners themselves.
+CNN_SERVERS = _farm(6, "www{i}.cnn.com", "157.166.226.{i}", "cnn")
+SKAI_SERVERS = _farm(4, "www{i}.skai.gr", "195.97.0.{i}", "skai")
+YOUTUBE_SERVERS = _farm(3, "www{i}.youtube.com", "142.250.72.{i}", "youtube")
+FACEBOOK_SERVERS = _farm(3, "star{i}.facebook.com", "157.240.22.{i}", "facebook")
+TWITTER_SERVERS = _farm(2, "api{i}.twitter.com", "104.244.42.{i}", "twitter")
+
+# Content-delivery networks (co-host many customers).
+AKAMAI_SERVERS = _farm(15, "a{i}.akamaiedge.net", "23.45.108.{i}", "akamai", True)
+CLOUDFRONT_SERVERS = _farm(8, "d{i}.cloudfront.net", "13.224.10.{i}", "cloudfront", True)
+FASTLY_SERVERS = _farm(5, "f{i}.fastly.net", "151.101.65.{i}", "fastly", True)
+
+# Google properties: video CDN, thumbnails, APIs, ad serving.
+GOOGLEVIDEO_SERVERS = _farm(6, "r{i}.googlevideo.com", "173.194.182.{i}", "youtube", True)
+YTIMG_SERVERS = _farm(2, "i{i}.ytimg.com", "172.217.6.{i}", "youtube", True)
+GOOGLE_SERVERS = _farm(4, "apis{i}.google.com", "142.250.190.{i}", "google")
+DOUBLECLICK_SERVERS = _farm(6, "ad{i}.doubleclick.net", "172.217.12.{i}", "doubleclick", True)
+
+# Third-party analytics / measurement beacons.
+TRACKER_SERVERS = _farm(12, "ping{i}.chartbeat.net", "104.16.200.{i}", "trackers")
+
+# Long tail of smaller ad exchanges.
+MISC_AD_SERVERS = _farm(10, "serve{i}.adnxs.com", "185.33.220.{i}", "adnetworks")
+
+# The local resolver answering DNS for every page load.
+RESOLVER = ServerInfo(hostname="resolver.isp.net", ip="198.51.100.53", operator="isp")
+
+# Unrelated servers Chrome prefetches from (missed by the Boost agent).
+PREFETCH_SERVERS = _farm(3, "prefetch{i}.example.net", "192.0.2.{i}", "other")

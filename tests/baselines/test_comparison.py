@@ -1,0 +1,35 @@
+"""Table 1 tests: the evaluated matrix equals the published one."""
+
+from repro.baselines.comparison import (
+    MECHANISMS,
+    PAPER_TABLE1,
+    evaluate_table1,
+    format_table1,
+)
+
+
+class TestMatrix:
+    def test_matches_paper_exactly(self):
+        rows = evaluate_table1()
+        for name, expected in PAPER_TABLE1.items():
+            got = tuple(rows[name][mechanism] for mechanism in MECHANISMS)
+            assert got == expected, f"row {name!r}: got {got}, paper says {expected}"
+
+    def test_all_rows_present(self):
+        assert set(evaluate_table1()) == set(PAPER_TABLE1)
+
+    def test_cookies_pass_every_property(self):
+        rows = evaluate_table1()
+        assert all(cells["cookies"] for cells in rows.values())
+
+    def test_every_baseline_fails_something(self):
+        rows = evaluate_table1()
+        for mechanism in ("dpi", "oob", "diffserv"):
+            assert not all(cells[mechanism] for cells in rows.values())
+
+    def test_format_renders_all_rows(self):
+        text = format_table1()
+        for name in PAPER_TABLE1:
+            assert name in text
+        for mechanism in MECHANISMS:
+            assert mechanism in text

@@ -1,0 +1,85 @@
+"""Cookie attribute tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.attributes import CookieAttributes, Granularity
+
+
+class TestDefaults:
+    def test_flow_granularity_default(self):
+        attrs = CookieAttributes()
+        assert attrs.granularity is Granularity.FLOW
+        assert attrs.apply_reverse
+
+    def test_default_flow_fields_are_five_tuple(self):
+        assert set(CookieAttributes().flow_fields) == {
+            "src_ip",
+            "src_port",
+            "dst_ip",
+            "dst_port",
+            "proto",
+        }
+
+    def test_string_granularity_coerced(self):
+        attrs = CookieAttributes(granularity="packet")
+        assert attrs.granularity is Granularity.PACKET
+
+
+class TestExpiry:
+    def test_no_expiry_never_expires(self):
+        assert not CookieAttributes().is_expired(now=1e12)
+
+    def test_expiry_boundary(self):
+        attrs = CookieAttributes(expires_at=10.0)
+        assert not attrs.is_expired(now=10.0)
+        assert attrs.is_expired(now=10.001)
+
+
+class TestTransports:
+    def test_default_allows_all_carriers(self):
+        attrs = CookieAttributes()
+        for name in ("http", "tls", "ipv6", "tcp", "udp"):
+            assert attrs.allows_transport(name)
+
+    def test_restricted_transports(self):
+        attrs = CookieAttributes(transports=("http",))
+        assert attrs.allows_transport("http")
+        assert not attrs.allows_transport("tls")
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        attrs = CookieAttributes(
+            granularity=Granularity.PACKET,
+            apply_reverse=False,
+            shared=True,
+            ack_cookie=True,
+            delivery_guarantee=True,
+            transports=("http", "tls"),
+            expires_at=99.5,
+            extra={"region": "us-west"},
+        )
+        recovered = CookieAttributes.from_json(attrs.to_json())
+        assert recovered == attrs
+
+    def test_unknown_keys_land_in_extra(self):
+        recovered = CookieAttributes.from_json({"mystery": 7})
+        assert recovered.extra["mystery"] == 7
+
+    def test_empty_json_gives_defaults(self):
+        assert CookieAttributes.from_json({}) == CookieAttributes()
+
+    @given(
+        shared=st.booleans(),
+        ack=st.booleans(),
+        guarantee=st.booleans(),
+        expires=st.one_of(st.none(), st.floats(0, 1e9, allow_nan=False)),
+    )
+    def test_roundtrip_property(self, shared, ack, guarantee, expires):
+        attrs = CookieAttributes(
+            shared=shared,
+            ack_cookie=ack,
+            delivery_guarantee=guarantee,
+            expires_at=expires,
+        )
+        assert CookieAttributes.from_json(attrs.to_json()) == attrs

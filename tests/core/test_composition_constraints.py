@@ -1,0 +1,182 @@
+"""Composition and constraint tests: multiple cookies per packet, and
+context-scoped descriptors (§4.3, §4.5)."""
+
+import pytest
+
+from repro.core import (
+    CookieAttributes,
+    CookieDescriptor,
+    CookieGenerator,
+    CookieMatcher,
+    DescriptorStore,
+)
+from repro.core.switch import CookieSwitch
+from repro.core.transport import default_registry
+from repro.netsim.appmsg import HTTPRequest, TLSClientHello
+from repro.netsim.middlebox import Sink
+from repro.netsim.packet import make_tcp_packet
+
+
+def _network(service_data, attributes=None, context=None):
+    """One access network: its own store, matcher, and switch."""
+    store = DescriptorStore()
+    descriptor = store.add(
+        CookieDescriptor.create(
+            service_data=service_data,
+            attributes=attributes or CookieAttributes(),
+        )
+    )
+    switch = CookieSwitch(
+        CookieMatcher(store), clock=lambda: 0.0, context=context
+    )
+    sink = Sink()
+    switch >> sink
+    return descriptor, switch, sink
+
+
+class TestCompositionCarriers:
+    def _two_cookies(self):
+        a = CookieGenerator(CookieDescriptor.create(), clock=lambda: 0.0).generate()
+        b = CookieGenerator(CookieDescriptor.create(), clock=lambda: 0.0).generate()
+        return a, b
+
+    def test_http_carries_multiple(self):
+        registry = default_registry()
+        a, b = self._two_cookies()
+        packet = make_tcp_packet(
+            "10.0.0.1", 1, "2.2.2.2", 80, content=HTTPRequest(host="x.com")
+        )
+        registry.attach(packet, a)
+        registry.attach(packet, b)
+        found = [c for c, _name in registry.extract_all(packet)]
+        assert found == [a, b]
+
+    def test_tls_carries_multiple(self):
+        registry = default_registry()
+        a, b = self._two_cookies()
+        packet = make_tcp_packet(
+            "10.0.0.1", 1, "2.2.2.2", 443, content=TLSClientHello(sni="x.com")
+        )
+        registry.attach(packet, a)
+        registry.attach(packet, b)
+        found = [c for c, _name in registry.extract_all(packet)]
+        assert found == [a, b]
+
+    def test_tcp_options_carry_multiple(self):
+        registry = default_registry()
+        a, b = self._two_cookies()
+        packet = make_tcp_packet("10.0.0.1", 1, "2.2.2.2", 443, encrypted=True)
+        registry.attach(packet, a)
+        registry.attach(packet, b)
+        found = [c for c, _name in registry.extract_all(packet)]
+        assert found == [a, b]
+
+    def test_extract_all_empty(self):
+        registry = default_registry()
+        packet = make_tcp_packet("10.0.0.1", 1, "2.2.2.2", 443)
+        assert registry.extract_all(packet) == []
+
+    def test_garbled_entry_skipped_others_survive(self):
+        registry = default_registry()
+        a, _b = self._two_cookies()
+        packet = make_tcp_packet(
+            "10.0.0.1", 1, "2.2.2.2", 80, content=HTTPRequest(host="x.com")
+        )
+        registry.attach(packet, a)
+        header = packet.payload.content.header("X-Network-Cookie")
+        packet.payload.content.set_header(
+            "X-Network-Cookie", header + ",garbage!!"
+        )
+        found = [c for c, _name in registry.extract_all(packet)]
+        assert found == [a]
+
+
+class TestCrossNetworkComposition:
+    def test_videocall_through_two_access_networks(self):
+        """The paper's videocall: one cookie per access network, no
+        coordination between operators — each switch serves on the cookie
+        its own store knows and ignores the other."""
+        desc_a, switch_a, sink_a = _network("fastlane-ispA")
+        desc_b, switch_b, sink_b = _network("fastlane-ispB")
+        registry = default_registry()
+
+        packet = make_tcp_packet(
+            "192.168.1.5", 5000, "198.51.100.77", 443,
+            content=TLSClientHello(sni="call.example"),
+        )
+        registry.attach(packet, CookieGenerator(desc_a, clock=lambda: 0.0).generate())
+        registry.attach(packet, CookieGenerator(desc_b, clock=lambda: 0.0).generate())
+
+        switch_a.push(packet)
+        assert sink_a.packets[0].meta["service"] == "fastlane-ispA"
+        # Network B sees the same packet later in the path.
+        packet.meta.pop("service")
+        switch_b.push(packet)
+        assert sink_b.packets[0].meta["service"] == "fastlane-ispB"
+
+    def test_foreign_cookie_alone_gets_best_effort(self):
+        _desc_a, switch_a, sink_a = _network("fastlane-ispA")
+        foreign = CookieGenerator(
+            CookieDescriptor.create(), clock=lambda: 0.0
+        ).generate()
+        registry = default_registry()
+        packet = make_tcp_packet(
+            "192.168.1.5", 5001, "198.51.100.77", 443,
+            content=TLSClientHello(sni="call.example"),
+        )
+        registry.attach(packet, foreign)
+        switch_a.push(packet)
+        assert "service" not in sink_a.packets[0].meta
+        assert switch_a.stats.cookies_rejected == 1
+
+
+class TestConstraints:
+    def _constrained(self, constraints):
+        return CookieAttributes(extra={"constraints": constraints})
+
+    def test_matching_context_serves(self):
+        descriptor, switch, sink = _network(
+            "Boost",
+            attributes=self._constrained({"network": "home-wifi"}),
+            context={"network": "home-wifi"},
+        )
+        registry = default_registry()
+        packet = make_tcp_packet(
+            "192.168.1.5", 5000, "1.2.3.4", 443,
+            content=TLSClientHello(sni="x.com"),
+        )
+        registry.attach(packet, CookieGenerator(descriptor, clock=lambda: 0.0).generate())
+        switch.push(packet)
+        assert sink.packets[0].meta.get("service") == "Boost"
+
+    def test_wrong_network_refused(self):
+        descriptor, switch, sink = _network(
+            "Boost",
+            attributes=self._constrained({"network": "home-wifi"}),
+            context={"network": "coffee-shop"},
+        )
+        registry = default_registry()
+        packet = make_tcp_packet(
+            "192.168.1.5", 5000, "1.2.3.4", 443,
+            content=TLSClientHello(sni="x.com"),
+        )
+        registry.attach(packet, CookieGenerator(descriptor, clock=lambda: 0.0).generate())
+        switch.push(packet)
+        assert "service" not in sink.packets[0].meta
+
+    def test_unattested_context_fails_closed(self):
+        """A geo-fenced cookie must not work on a switch that cannot
+        attest its region."""
+        attrs = self._constrained({"region": "us-west"})
+        assert not attrs.matches_context({})
+        assert not attrs.matches_context({"network": "home"})
+        assert attrs.matches_context({"region": "us-west", "extra": 1})
+
+    def test_unconstrained_matches_anywhere(self):
+        assert CookieAttributes().matches_context({})
+        assert CookieAttributes().matches_context({"anything": "goes"})
+
+    def test_constraints_roundtrip_json(self):
+        attrs = self._constrained({"network": "home-wifi"})
+        recovered = CookieAttributes.from_json(attrs.to_json())
+        assert recovered.constraints == {"network": "home-wifi"}

@@ -1,0 +1,136 @@
+"""Cookie wire-format and signature tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cookie import (
+    COOKIE_WIRE_BYTES,
+    SIGNATURE_BYTES,
+    UUID_BYTES,
+    Cookie,
+    sign_cookie_fields,
+)
+from repro.core.descriptor import CookieDescriptor
+from repro.core.errors import MalformedCookie
+
+
+def _cookie(key=b"k" * 32, cookie_id=42, uuid=b"u" * 16, timestamp=123.456):
+    return Cookie(
+        cookie_id=cookie_id,
+        uuid=uuid,
+        timestamp=timestamp,
+        signature=sign_cookie_fields(key, cookie_id, uuid, timestamp),
+    )
+
+
+class TestEncoding:
+    def test_binary_roundtrip(self):
+        cookie = _cookie()
+        assert Cookie.from_bytes(cookie.to_bytes()) == cookie
+
+    def test_binary_length(self):
+        assert len(_cookie().to_bytes()) == COOKIE_WIRE_BYTES == 48
+
+    def test_text_roundtrip(self):
+        cookie = _cookie()
+        assert Cookie.from_text(cookie.to_text()) == cookie
+
+    def test_text_is_base64(self):
+        import base64
+
+        text = _cookie().to_text()
+        assert base64.b64decode(text) == _cookie().to_bytes()
+
+    def test_timestamp_microsecond_precision(self):
+        cookie = _cookie(timestamp=1.000001)
+        assert Cookie.from_bytes(cookie.to_bytes()).timestamp == pytest.approx(
+            1.000001, abs=1e-9
+        )
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(MalformedCookie):
+            Cookie.from_bytes(b"short")
+
+    def test_bad_base64_rejected(self):
+        with pytest.raises(MalformedCookie):
+            Cookie.from_text("!!!not base64!!!")
+
+    def test_valid_base64_wrong_length_rejected(self):
+        with pytest.raises(MalformedCookie):
+            Cookie.from_text("YWJj")  # "abc"
+
+    @given(
+        cookie_id=st.integers(0, 2**64 - 1),
+        uuid=st.binary(min_size=16, max_size=16),
+        # Bounded at 2**31 s (~epoch 2038): microsecond integers must stay
+        # exactly representable in float64 for lossless round-trips.
+        timestamp=st.floats(0, 2**31, allow_nan=False),
+    )
+    def test_roundtrip_property(self, cookie_id, uuid, timestamp):
+        cookie = _cookie(cookie_id=cookie_id, uuid=uuid, timestamp=timestamp)
+        recovered = Cookie.from_bytes(cookie.to_bytes())
+        assert recovered.cookie_id == cookie_id
+        assert recovered.uuid == uuid
+        assert recovered.timestamp == pytest.approx(timestamp, abs=1e-5)
+
+
+class TestValidation:
+    def test_bad_uuid_length(self):
+        with pytest.raises(MalformedCookie):
+            Cookie(cookie_id=1, uuid=b"short", timestamp=0.0, signature=b"s" * 16)
+
+    def test_bad_signature_length(self):
+        with pytest.raises(MalformedCookie):
+            Cookie(cookie_id=1, uuid=b"u" * 16, timestamp=0.0, signature=b"s")
+
+    def test_repr_does_not_leak_signature(self):
+        cookie = _cookie()
+        assert cookie.signature.hex() not in repr(cookie)
+
+
+class TestSignature:
+    def test_verifies_under_right_key(self):
+        descriptor = CookieDescriptor(cookie_id=42, key=b"k" * 32)
+        assert _cookie(key=b"k" * 32).verify_signature(descriptor)
+
+    def test_rejects_wrong_key(self):
+        descriptor = CookieDescriptor(cookie_id=42, key=b"wrong" * 8)
+        assert not _cookie(key=b"k" * 32).verify_signature(descriptor)
+
+    def test_signature_covers_id(self):
+        descriptor = CookieDescriptor(cookie_id=42, key=b"k" * 32)
+        tampered = Cookie(
+            cookie_id=43,
+            uuid=b"u" * 16,
+            timestamp=123.456,
+            signature=_cookie().signature,
+        )
+        assert not tampered.verify_signature(descriptor)
+
+    def test_signature_covers_uuid(self):
+        descriptor = CookieDescriptor(cookie_id=42, key=b"k" * 32)
+        tampered = Cookie(
+            cookie_id=42,
+            uuid=b"x" * 16,
+            timestamp=123.456,
+            signature=_cookie().signature,
+        )
+        assert not tampered.verify_signature(descriptor)
+
+    def test_signature_covers_timestamp(self):
+        descriptor = CookieDescriptor(cookie_id=42, key=b"k" * 32)
+        tampered = Cookie(
+            cookie_id=42,
+            uuid=b"u" * 16,
+            timestamp=999.0,
+            signature=_cookie().signature,
+        )
+        assert not tampered.verify_signature(descriptor)
+
+    def test_signature_length(self):
+        assert len(sign_cookie_fields(b"k", 1, b"u" * 16, 0.0)) == SIGNATURE_BYTES
+
+    def test_deterministic(self):
+        a = sign_cookie_fields(b"key", 7, b"u" * UUID_BYTES, 5.0)
+        b = sign_cookie_fields(b"key", 7, b"u" * UUID_BYTES, 5.0)
+        assert a == b

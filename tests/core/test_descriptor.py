@@ -1,0 +1,86 @@
+"""Cookie descriptor tests: creation, serialization, lifecycle."""
+
+import pytest
+
+from repro.core.attributes import CookieAttributes
+from repro.core.descriptor import CookieDescriptor
+
+
+class TestCreation:
+    def test_create_random_ids_distinct(self):
+        a, b = CookieDescriptor.create(), CookieDescriptor.create()
+        assert a.cookie_id != b.cookie_id
+        assert a.key != b.key
+
+    def test_id_fits_64_bits(self):
+        descriptor = CookieDescriptor.create()
+        assert 0 <= descriptor.cookie_id < 2**64
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ValueError):
+            CookieDescriptor(cookie_id=2**64, key=b"k")
+        with pytest.raises(ValueError):
+            CookieDescriptor(cookie_id=-1, key=b"k")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            CookieDescriptor(cookie_id=1, key=b"")
+
+    def test_key_coerced_to_bytes(self):
+        descriptor = CookieDescriptor(cookie_id=1, key=bytearray(b"abc"))
+        assert isinstance(descriptor.key, bytes)
+
+    def test_service_data_carried(self):
+        descriptor = CookieDescriptor.create(service_data={"service": "Boost"})
+        assert descriptor.service_data == {"service": "Boost"}
+
+
+class TestLifecycle:
+    def test_usable_by_default(self):
+        assert CookieDescriptor.create().is_usable(now=0.0)
+
+    def test_revocation(self):
+        descriptor = CookieDescriptor.create()
+        descriptor.revoke()
+        assert descriptor.revoked
+        assert not descriptor.is_usable(now=0.0)
+
+    def test_expiry(self):
+        descriptor = CookieDescriptor.create(
+            attributes=CookieAttributes(expires_at=100.0)
+        )
+        assert descriptor.is_usable(now=50.0)
+        assert not descriptor.is_usable(now=150.0)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        descriptor = CookieDescriptor.create(
+            service_data="Boost",
+            attributes=CookieAttributes(shared=True, expires_at=10.0),
+        )
+        recovered = CookieDescriptor.from_json(descriptor.to_json())
+        assert recovered.cookie_id == descriptor.cookie_id
+        assert recovered.key == descriptor.key
+        assert recovered.service_data == "Boost"
+        assert recovered.attributes.shared
+        assert recovered.attributes.expires_at == 10.0
+
+    def test_audit_form_omits_key(self):
+        descriptor = CookieDescriptor.create()
+        public = descriptor.to_json(include_key=False)
+        assert "key" not in public
+
+    def test_from_json_requires_key(self):
+        descriptor = CookieDescriptor.create()
+        with pytest.raises(ValueError):
+            CookieDescriptor.from_json(descriptor.to_json(include_key=False))
+
+    def test_revoked_flag_roundtrips(self):
+        descriptor = CookieDescriptor.create()
+        descriptor.revoke()
+        assert CookieDescriptor.from_json(descriptor.to_json()).revoked
+
+    def test_repr_hides_key(self):
+        descriptor = CookieDescriptor.create()
+        assert descriptor.key.hex() not in repr(descriptor)

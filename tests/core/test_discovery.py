@@ -1,0 +1,57 @@
+"""Discovery tests: DHCP option, mDNS browse, hardcoded."""
+
+from repro.core.discovery import (
+    DHCP_COOKIE_SERVER_OPTION,
+    DhcpDiscovery,
+    Directory,
+    HardcodedDiscovery,
+    MdnsDiscovery,
+    ServerRecord,
+)
+
+
+def _directory():
+    directory = Directory()
+    directory.publish(
+        "home-lan",
+        ServerRecord(url="http://cookie-server.isp.net", network="home-lan"),
+    )
+    return directory
+
+
+class TestDhcp:
+    def test_lease_carries_option(self):
+        lease = DhcpDiscovery(_directory()).lease_for("home-lan")
+        assert lease[DHCP_COOKIE_SERVER_OPTION] == "http://cookie-server.isp.net"
+
+    def test_discover_returns_record(self):
+        record = DhcpDiscovery(_directory()).discover("home-lan")
+        assert record is not None
+        assert record.url == "http://cookie-server.isp.net"
+
+    def test_unknown_network_empty(self):
+        discovery = DhcpDiscovery(_directory())
+        assert discovery.lease_for("coffee-shop") == {}
+        assert discovery.discover("coffee-shop") is None
+
+
+class TestMdns:
+    def test_browse_finds_published(self):
+        records = MdnsDiscovery(_directory()).browse("home-lan")
+        assert len(records) == 1
+
+    def test_browse_empty_network(self):
+        assert MdnsDiscovery(_directory()).browse("nowhere") == []
+
+
+class TestHardcoded:
+    def test_always_returns_record(self):
+        record = ServerRecord(url="https://cookies.amazon.example")
+        assert HardcodedDiscovery(record).discover("any-network") is record
+
+
+class TestDirectory:
+    def test_publish_overwrites(self):
+        directory = _directory()
+        directory.publish("home-lan", ServerRecord(url="http://new.example"))
+        assert directory.lookup("home-lan").url == "http://new.example"

@@ -1,0 +1,173 @@
+"""Failure-injection / fuzz tests: garbage must never crash the data path.
+
+The paper's deployment story depends on fail-open behaviour — a bug in a
+client that creates an erroneous cookie must degrade that client to
+best-effort, not take down the middlebox.  These tests throw adversarial
+and random inputs at every parsing surface.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Cookie,
+    CookieDescriptor,
+    CookieGenerator,
+    CookieMatcher,
+    CookieServer,
+    DescriptorStore,
+    MalformedCookie,
+    ServiceOffering,
+    default_registry,
+)
+from repro.core.switch import CookieSwitch
+from repro.baselines.dpi import DpiEngine
+from repro.netsim.appmsg import HTTPRequest, TLSClientHello
+from repro.netsim.middlebox import Sink
+from repro.netsim.packet import make_tcp_packet, make_udp_packet
+from repro.services.zerorate import ZeroRatingMiddlebox
+
+
+class TestCookieParsingFuzz:
+    @given(data=st.binary(min_size=0, max_size=100))
+    def test_from_bytes_never_crashes(self, data):
+        try:
+            cookie = Cookie.from_bytes(data)
+            assert isinstance(cookie, Cookie)
+        except MalformedCookie:
+            pass
+
+    @given(text=st.text(max_size=120))
+    def test_from_text_never_crashes(self, text):
+        try:
+            cookie = Cookie.from_text(text)
+            assert isinstance(cookie, Cookie)
+        except MalformedCookie:
+            pass
+
+    @given(data=st.binary(min_size=48, max_size=48))
+    def test_random_48_bytes_parse_but_never_verify(self, data):
+        """Any 48 bytes parse structurally, but the signature check under
+        a real key rejects them (2^-128 forgery probability)."""
+        store = DescriptorStore()
+        descriptor = store.add(CookieDescriptor.create())
+        matcher = CookieMatcher(store)
+        cookie = Cookie.from_bytes(data)
+        assert matcher.match(cookie, now=0.0) is None
+
+
+def _garbage_packets():
+    """A zoo of adversarial packets."""
+    tls_garbage = make_tcp_packet(
+        "10.0.0.1", 1, "2.2.2.2", 443, content=TLSClientHello(sni="x")
+    )
+    tls_garbage.payload.content.extensions[0xFFCE] = b"\x00\xff" * 31
+    http_garbage = make_tcp_packet(
+        "10.0.0.1", 2, "2.2.2.2", 80, content=HTTPRequest(host="y")
+    )
+    http_garbage.payload.content.set_header("X-Network-Cookie", "AAAA,,;;==")
+    from repro.netsim.headers import TCPOption
+
+    tcp_garbage = make_tcp_packet("10.0.0.1", 3, "2.2.2.2", 443)
+    tcp_garbage.l4.options.append(TCPOption(kind=253, data=b"\x4e\x43" + b"z" * 5))
+    tcp_garbage.l4.options.append(TCPOption(kind=253, data=b""))
+    from repro.netsim.packet import Packet
+
+    return [
+        tls_garbage,
+        http_garbage,
+        tcp_garbage,
+        Packet(),  # headerless
+        make_udp_packet("10.0.0.1", 4, "2.2.2.2", 53, payload_size=1),
+    ]
+
+
+class TestDataPathFuzz:
+    def test_registry_extract_survives_garbage(self):
+        registry = default_registry()
+        for packet in _garbage_packets():
+            registry.extract(packet)  # must not raise
+            registry.extract_all(packet)
+
+    def test_cookie_switch_survives_garbage(self):
+        store = DescriptorStore()
+        switch = CookieSwitch(CookieMatcher(store), clock=lambda: 0.0)
+        sink = Sink()
+        switch >> sink
+        packets = _garbage_packets()
+        for packet in packets:
+            switch.push(packet)
+        assert sink.count == len(packets)  # everything forwarded best-effort
+
+    def test_zero_rating_survives_garbage(self):
+        store = DescriptorStore()
+        middlebox = ZeroRatingMiddlebox(CookieMatcher(store), clock=lambda: 0.0)
+        sink = Sink()
+        middlebox >> sink
+        packets = _garbage_packets()
+        for packet in packets:
+            middlebox.handle(packet)
+        assert sink.count == len(packets)
+
+    @given(sni=st.text(max_size=80))
+    @settings(max_examples=50)
+    def test_dpi_survives_arbitrary_sni(self, sni):
+        engine = DpiEngine()
+        packet = make_tcp_packet(
+            "10.0.0.1", 1, "2.2.2.2", 443, content=TLSClientHello(sni=sni)
+        )
+        engine.label_of(packet)  # must not raise
+
+    def test_truncated_cookie_in_every_carrier(self):
+        """A cookie cut short in transit degrades to best-effort."""
+        store = DescriptorStore()
+        descriptor = store.add(CookieDescriptor.create())
+        registry = default_registry()
+        switch = CookieSwitch(CookieMatcher(store), clock=lambda: 0.0)
+        sink = Sink()
+        switch >> sink
+        packet = make_tcp_packet(
+            "10.0.0.1", 1, "2.2.2.2", 80, content=HTTPRequest(host="x.com")
+        )
+        cookie = CookieGenerator(descriptor, clock=lambda: 0.0).generate()
+        registry.attach(packet, cookie)
+        text = packet.payload.content.header("X-Network-Cookie")
+        packet.payload.content.set_header("X-Network-Cookie", text[: len(text) // 2])
+        switch.push(packet)
+        assert "service" not in sink.packets[0].meta
+
+
+class TestControlPlaneFuzz:
+    @given(
+        request=st.dictionaries(
+            keys=st.sampled_from(["op", "user", "service", "cookie_id", "x"]),
+            values=st.one_of(
+                st.none(),
+                st.integers(-10, 10),
+                st.text(max_size=10),
+                st.lists(st.integers(), max_size=3),
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100)
+    def test_json_api_always_answers(self, request):
+        """Arbitrary JSON objects get a well-formed response, never an
+        exception."""
+        server = CookieServer(clock=lambda: 0.0)
+        server.offer(ServiceOffering(name="Boost"))
+        response = server.handle_request(request)
+        assert isinstance(response, dict)
+        assert "ok" in response
+
+    def test_json_api_type_confusion(self):
+        server = CookieServer(clock=lambda: 0.0)
+        server.offer(ServiceOffering(name="Boost"))
+        for weird in (
+            {"op": "acquire", "user": ["a"], "service": {"x": 1}},
+            {"op": "revoke", "cookie_id": "not-an-int"},
+            {"op": "renew", "cookie_id": None},
+            {"op": 42},
+        ):
+            response = server.handle_request(weird)
+            assert isinstance(response, dict) and "ok" in response

@@ -1,0 +1,147 @@
+"""Live TCP cookie server tests: real sockets, JSON-lines protocol."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core import (
+    CookieDescriptor,
+    CookieServer,
+    ServiceOffering,
+)
+from repro.core.netserver import AsyncCookieServer, CookieClient
+
+
+def _make_server():
+    server = CookieServer(clock=lambda: 0.0)
+    server.offer(ServiceOffering(name="Boost", description="fast lane"))
+    return server
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestProtocol:
+    def test_list_services_over_tcp(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server())
+            host, port = await tcp.start()
+            client = CookieClient(host, port)
+            try:
+                response = await client.request({"op": "list_services"})
+            finally:
+                await client.close()
+                await tcp.stop()
+            return response
+
+        response = _run(scenario())
+        assert response["ok"]
+        assert response["services"][0]["name"] == "Boost"
+
+    def test_acquire_yields_usable_descriptor(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server())
+            host, port = await tcp.start()
+            client = CookieClient(host, port)
+            try:
+                response = await client.request(
+                    {"op": "acquire", "user": "alice", "service": "Boost"}
+                )
+            finally:
+                await client.close()
+                await tcp.stop()
+            return response
+
+        response = _run(scenario())
+        descriptor = CookieDescriptor.from_json(response["descriptor"])
+        assert descriptor.service_data == "Boost"
+
+    def test_multiple_requests_one_connection(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server())
+            host, port = await tcp.start()
+            client = CookieClient(host, port)
+            try:
+                first = await client.request({"op": "list_services"})
+                second = await client.request(
+                    {"op": "acquire", "user": "alice", "service": "Boost"}
+                )
+            finally:
+                await client.close()
+                await tcp.stop()
+            return first, second
+
+        first, second = _run(scenario())
+        assert first["ok"] and second["ok"]
+
+    def test_malformed_json_answered_with_error(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server())
+            host, port = await tcp.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            await tcp.stop()
+            return json.loads(line)
+
+        response = _run(scenario())
+        assert not response["ok"]
+        assert "bad request" in response["error"]
+
+    def test_non_object_request_rejected(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server())
+            host, port = await tcp.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"[1, 2, 3]\n")
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            await tcp.stop()
+            return json.loads(line)
+
+        assert not _run(scenario())["ok"]
+
+    def test_concurrent_clients(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server())
+            host, port = await tcp.start()
+
+            async def one_client(user):
+                client = CookieClient(host, port)
+                try:
+                    return await client.request(
+                        {"op": "acquire", "user": user, "service": "Boost"}
+                    )
+                finally:
+                    await client.close()
+
+            responses = await asyncio.gather(
+                *(one_client(f"user{i}") for i in range(5))
+            )
+            await tcp.stop()
+            return responses
+
+        responses = _run(scenario())
+        assert all(r["ok"] for r in responses)
+        ids = {r["descriptor"]["cookie_id"] for r in responses}
+        assert len(ids) == 5
+
+    def test_server_closed_connection_raises(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server())
+            host, port = await tcp.start()
+            client = CookieClient(host, port)
+            await client.connect()
+            await tcp.stop()
+            with pytest.raises((ConnectionError, OSError)):
+                await client.request({"op": "list_services"})
+            await client.close()
+
+        _run(scenario())

@@ -1,0 +1,129 @@
+"""Stateful property tests: implementations against abstract models.
+
+Two hypothesis state machines:
+
+- :class:`ReplayCacheMachine` checks the cache's contract — a uuid seen
+  within one coherency window MUST be remembered; one older than two
+  windows MUST be forgotten; in between either is acceptable (the
+  timestamp check makes it irrelevant).
+- :class:`StoreParityMachine` drives the in-memory and SQLite descriptor
+  stores with identical operations and demands identical observable
+  state.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.attributes import CookieAttributes
+from repro.core.descriptor import CookieDescriptor
+from repro.core.matcher import ReplayCache
+from repro.core.store import DescriptorStore, SQLiteDescriptorStore
+
+WINDOW = 5.0
+
+
+class ReplayCacheMachine(RuleBasedStateMachine):
+    """Drives the cache with monotonically advancing time."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = ReplayCache(window=WINDOW)
+        self.now = 0.0
+        self.recorded: dict[bytes, float] = {}
+
+    @rule(advance=st.floats(0.0, 12.0))
+    def pass_time(self, advance):
+        self.now += advance
+
+    @rule(tag=st.integers(0, 30))
+    def record(self, tag):
+        uuid = tag.to_bytes(16, "big")
+        self.cache.record(uuid, self.now)
+        self.recorded[uuid] = self.now
+
+    @rule(tag=st.integers(0, 30))
+    def check(self, tag):
+        uuid = tag.to_bytes(16, "big")
+        seen = self.cache.seen_before(uuid, self.now)
+        recorded_at = self.recorded.get(uuid)
+        if recorded_at is None:
+            assert not seen, "never-recorded uuid reported as seen"
+            return
+        age = self.now - recorded_at
+        if age < WINDOW:
+            assert seen, f"uuid recorded {age:.2f}s ago (< window) forgotten"
+        elif age >= 2 * WINDOW:
+            assert not seen, f"uuid recorded {age:.2f}s ago (>= 2 windows) retained"
+        # Between one and two windows: either outcome is contract-legal.
+
+    @invariant()
+    def memory_is_bounded(self):
+        # Never more than everything recorded (sanity) — tighter bounds
+        # are covered by the ablation benchmark.
+        assert self.cache.size <= max(len(self.recorded), 1) * 2
+
+
+TestReplayCacheContract = ReplayCacheMachine.TestCase
+
+
+class StoreParityMachine(RuleBasedStateMachine):
+    """In-memory and SQLite stores must be observationally identical."""
+
+    descriptors = Bundle("descriptors")
+
+    def __init__(self):
+        super().__init__()
+        self.memory = DescriptorStore()
+        self.sqlite = SQLiteDescriptorStore(":memory:")
+
+    def teardown(self):
+        self.sqlite.close()
+
+    @rule(target=descriptors, expiry=st.one_of(st.none(), st.floats(0, 100)))
+    def add(self, expiry):
+        descriptor = CookieDescriptor.create(
+            service_data="svc",
+            attributes=CookieAttributes(expires_at=expiry),
+        )
+        self.memory.add(descriptor)
+        self.sqlite.add(descriptor)
+        return descriptor
+
+    @rule(descriptor=descriptors)
+    def get_parity(self, descriptor):
+        a = self.memory.get(descriptor.cookie_id)
+        b = self.sqlite.get(descriptor.cookie_id)
+        assert (a is None) == (b is None)
+        if a is not None and b is not None:
+            assert a.key == b.key
+            assert a.revoked == b.revoked
+            assert a.attributes.expires_at == b.attributes.expires_at
+
+    @rule(descriptor=descriptors)
+    def revoke(self, descriptor):
+        assert self.memory.revoke(descriptor.cookie_id) == self.sqlite.revoke(
+            descriptor.cookie_id
+        )
+
+    @rule(descriptor=descriptors)
+    def remove(self, descriptor):
+        a = self.memory.remove(descriptor.cookie_id)
+        b = self.sqlite.remove(descriptor.cookie_id)
+        assert (a is None) == (b is None)
+
+    @rule(now=st.floats(0, 200))
+    def purge(self, now):
+        assert self.memory.purge_expired(now) == self.sqlite.purge_expired(now)
+
+    @invariant()
+    def same_size(self):
+        assert len(self.memory) == len(self.sqlite)
+
+
+TestStoreParity = StoreParityMachine.TestCase

@@ -1,0 +1,248 @@
+"""Cookie transport tests: every carrier, the registry, overhead, failure
+tolerance."""
+
+import pytest
+
+from repro.core.cookie import Cookie
+from repro.core.descriptor import CookieDescriptor
+from repro.core.errors import TransportError
+from repro.core.generator import CookieGenerator
+from repro.core.transport import (
+    COOKIE_HEADER,
+    CookieShim,
+    HttpHeaderCarrier,
+    Ipv6ExtensionCarrier,
+    TcpOptionCarrier,
+    TlsExtensionCarrier,
+    TransportRegistry,
+    UdpShimCarrier,
+    default_registry,
+)
+from repro.netsim.appmsg import HTTPRequest, TLSClientHello
+from repro.netsim.headers import IPProto, IPv6Header, TCPHeader
+from repro.netsim.packet import Packet, Payload, make_tcp_packet, make_udp_packet
+
+
+@pytest.fixture
+def cookie():
+    descriptor = CookieDescriptor.create(service_data="Boost")
+    return CookieGenerator(descriptor, clock=lambda: 1.0).generate()
+
+
+def _http_packet():
+    return make_tcp_packet(
+        "10.0.0.1", 5000, "1.2.3.4", 80,
+        content=HTTPRequest(host="example.com"), payload_size=300,
+    )
+
+
+def _tls_packet():
+    return make_tcp_packet(
+        "10.0.0.1", 5000, "1.2.3.4", 443,
+        content=TLSClientHello(sni="example.com"), payload_size=300,
+    )
+
+
+def _ipv6_packet():
+    return Packet(
+        ip=IPv6Header(src="2001:db8::1", dst="2001:db8::2", next_header=IPProto.TCP),
+        l4=TCPHeader(src_port=5000, dst_port=443),
+        payload=Payload(size=100),
+    )
+
+
+class TestHttpCarrier:
+    def test_roundtrip(self, cookie):
+        carrier = HttpHeaderCarrier()
+        packet = _http_packet()
+        carrier.attach(packet, cookie)
+        assert carrier.extract(packet) == cookie
+
+    def test_header_is_base64_text(self, cookie):
+        packet = _http_packet()
+        HttpHeaderCarrier().attach(packet, cookie)
+        assert packet.payload.content.header(COOKIE_HEADER) == cookie.to_text()
+
+    def test_size_overhead_accounted(self, cookie):
+        carrier = HttpHeaderCarrier()
+        packet = _http_packet()
+        before = packet.wire_length
+        carrier.attach(packet, cookie)
+        assert packet.wire_length == before + carrier.overhead_bytes
+
+    def test_cannot_carry_tls(self, cookie):
+        assert not HttpHeaderCarrier().can_carry(_tls_packet())
+        with pytest.raises(TransportError):
+            HttpHeaderCarrier().attach(_tls_packet(), cookie)
+
+    def test_no_cookie_returns_none(self):
+        assert HttpHeaderCarrier().extract(_http_packet()) is None
+
+    def test_garbled_header_returns_none(self):
+        packet = _http_packet()
+        packet.payload.content.set_header(COOKIE_HEADER, "garbage!!")
+        assert HttpHeaderCarrier().extract(packet) is None
+
+
+class TestTlsCarrier:
+    def test_roundtrip(self, cookie):
+        carrier = TlsExtensionCarrier()
+        packet = _tls_packet()
+        carrier.attach(packet, cookie)
+        assert carrier.extract(packet) == cookie
+
+    def test_cannot_carry_plain_http(self, cookie):
+        assert not TlsExtensionCarrier().can_carry(_http_packet())
+
+    def test_sni_untouched(self, cookie):
+        packet = _tls_packet()
+        TlsExtensionCarrier().attach(packet, cookie)
+        assert packet.payload.content.sni == "example.com"
+
+    def test_garbled_extension_returns_none(self):
+        from repro.core.transport.tls import COOKIE_EXTENSION_TYPE
+
+        packet = _tls_packet()
+        packet.payload.content.extensions[COOKIE_EXTENSION_TYPE] = b"\xff\xfe"
+        assert TlsExtensionCarrier().extract(packet) is None
+
+
+class TestIpv6Carrier:
+    def test_roundtrip(self, cookie):
+        carrier = Ipv6ExtensionCarrier()
+        packet = _ipv6_packet()
+        carrier.attach(packet, cookie)
+        assert carrier.extract(packet) == cookie
+
+    def test_cannot_carry_ipv4(self, cookie):
+        assert not Ipv6ExtensionCarrier().can_carry(_http_packet())
+        with pytest.raises(TransportError):
+            Ipv6ExtensionCarrier().attach(_http_packet(), cookie)
+
+    def test_extension_chain_preserved(self, cookie):
+        packet = _ipv6_packet()
+        Ipv6ExtensionCarrier().attach(packet, cookie)
+        assert len(packet.ip.extensions) == 1
+        assert packet.ip.extensions[0].next_header == IPProto.TCP
+
+    def test_wire_length_grows(self, cookie):
+        packet = _ipv6_packet()
+        before = packet.wire_length
+        Ipv6ExtensionCarrier().attach(packet, cookie)
+        assert packet.wire_length > before
+
+
+class TestTcpCarrier:
+    def test_roundtrip(self, cookie):
+        carrier = TcpOptionCarrier()
+        packet = make_tcp_packet("10.0.0.1", 1, "2.2.2.2", 2, payload_size=50)
+        carrier.attach(packet, cookie)
+        assert carrier.extract(packet) == cookie
+
+    def test_carries_on_encrypted_traffic(self, cookie):
+        """The TCP option rides below TLS: works on fully opaque flows."""
+        packet = make_tcp_packet(
+            "10.0.0.1", 1, "2.2.2.2", 2, payload_size=500, encrypted=True
+        )
+        carrier = TcpOptionCarrier()
+        carrier.attach(packet, cookie)
+        assert carrier.extract(packet) == cookie
+
+    def test_foreign_option_ignored(self):
+        from repro.netsim.headers import TCPOption
+
+        packet = make_tcp_packet("10.0.0.1", 1, "2.2.2.2", 2)
+        packet.l4.options.append(TCPOption(kind=253, data=b"\x00\x01xx"))
+        assert TcpOptionCarrier().extract(packet) is None
+
+    def test_requires_extended_options_documented(self):
+        assert TcpOptionCarrier.requires_extended_options
+
+    def test_cannot_carry_udp(self, cookie):
+        packet = make_udp_packet("1.1.1.1", 1, "2.2.2.2", 2)
+        assert not TcpOptionCarrier().can_carry(packet)
+
+
+class TestUdpCarrier:
+    def test_roundtrip(self, cookie):
+        carrier = UdpShimCarrier()
+        packet = make_udp_packet("1.1.1.1", 1, "2.2.2.2", 2, payload_size=100)
+        carrier.attach(packet, cookie)
+        assert carrier.extract(packet) == cookie
+
+    def test_inner_content_preserved(self, cookie):
+        packet = make_udp_packet(
+            "1.1.1.1", 1, "2.2.2.2", 2, payload_size=100, content={"app": "data"}
+        )
+        UdpShimCarrier().attach(packet, cookie)
+        assert isinstance(packet.payload.content, CookieShim)
+        assert packet.payload.content.inner == {"app": "data"}
+
+    def test_double_attach_rejected(self, cookie):
+        packet = make_udp_packet("1.1.1.1", 1, "2.2.2.2", 2)
+        UdpShimCarrier().attach(packet, cookie)
+        with pytest.raises(TransportError):
+            UdpShimCarrier().attach(packet, cookie)
+
+    def test_udp_length_updated(self, cookie):
+        packet = make_udp_packet("1.1.1.1", 1, "2.2.2.2", 2, payload_size=100)
+        before = packet.l4.length
+        UdpShimCarrier().attach(packet, cookie)
+        assert packet.l4.length == before + UdpShimCarrier.overhead_bytes
+
+
+class TestRegistry:
+    def test_default_registry_has_all_carriers(self):
+        assert set(default_registry().names) == {"http", "tls", "udp", "ipv6", "tcp"}
+
+    def test_http_preferred_for_plain_requests(self, cookie):
+        registry = default_registry()
+        assert registry.attach(_http_packet(), cookie) == "http"
+
+    def test_tls_preferred_for_client_hello(self, cookie):
+        registry = default_registry()
+        assert registry.attach(_tls_packet(), cookie) == "tls"
+
+    def test_tcp_fallback_for_opaque_tcp(self, cookie):
+        registry = default_registry()
+        packet = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2, encrypted=True)
+        assert registry.attach(packet, cookie) == "tcp"
+
+    def test_allowed_filter_respected(self, cookie):
+        registry = default_registry()
+        packet = _tls_packet()
+        # TLS not allowed: falls through to the TCP option carrier.
+        assert registry.attach(packet, cookie, allowed=("tcp",)) == "tcp"
+
+    def test_no_carrier_raises(self, cookie):
+        registry = default_registry()
+        with pytest.raises(TransportError):
+            registry.attach(Packet(), cookie)
+
+    def test_extract_scans_all(self, cookie):
+        registry = default_registry()
+        packet = _ipv6_packet()
+        registry.attach(packet, cookie)
+        found = registry.extract(packet)
+        assert found is not None
+        assert found[0] == cookie and found[1] == "ipv6"
+
+    def test_extract_none_for_clean_packet(self):
+        assert default_registry().extract(_http_packet()) is None
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TransportRegistry([HttpHeaderCarrier(), HttpHeaderCarrier()])
+        registry = TransportRegistry([HttpHeaderCarrier()])
+        with pytest.raises(ValueError):
+            registry.register(HttpHeaderCarrier())
+
+    def test_get_by_name(self):
+        registry = default_registry()
+        assert registry.get("tls") is not None
+        assert registry.get("nope") is None
+
+    def test_carriers_for(self):
+        registry = default_registry()
+        names = [c.name for c in registry.carriers_for(_tls_packet())]
+        assert "tls" in names and "tcp" in names and "http" not in names

@@ -1,0 +1,163 @@
+"""Experiment-driver tests: each figure's *shape* holds on small runs."""
+
+import pytest
+
+from repro.experiments import (
+    run_accuracy,
+    run_point,
+    run_sec3,
+    run_sec46,
+    run_trial,
+)
+from repro.experiments.fig6_accuracy import run_cookies, run_ndpi, run_oob
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def cnn_results(self):
+        return run_accuracy("cnn.com")
+
+    def test_cookies_boost_over_90_percent(self, cnn_results):
+        assert cnn_results["cookies"].matched_fraction > 0.90
+
+    def test_cookies_no_false_positives(self, cnn_results):
+        assert cnn_results["cookies"].false_packets == 0
+
+    def test_ndpi_cnn_near_18_percent(self, cnn_results):
+        assert cnn_results["ndpi"].matched_fraction == pytest.approx(0.18, abs=0.03)
+
+    def test_oob_matches_like_cookies(self, cnn_results):
+        assert cnn_results["oob"].matched_fraction == pytest.approx(
+            cnn_results["cookies"].matched_fraction, abs=0.01
+        )
+
+    def test_oob_cnn_false_positives_near_40_percent(self, cnn_results):
+        assert cnn_results["oob"].false_fraction_of_marked == pytest.approx(
+            0.40, abs=0.06
+        )
+
+    def test_ndpi_skai_matches_nothing(self):
+        result = run_ndpi("skai.gr")
+        assert result.matched_fraction == 0.0
+
+    def test_ndpi_youtube_false_positive_on_skai_12_percent(self):
+        result = run_ndpi("youtube.com")
+        assert result.false_fraction_of_site("skai.gr") == pytest.approx(
+            0.12, abs=0.02
+        )
+
+    def test_cookies_ge_oob_ge_ndpi_ordering(self):
+        """The figure's qualitative message for every target."""
+        for target in ("cnn.com", "youtube.com", "skai.gr"):
+            cookies = run_cookies(target)
+            ndpi = run_ndpi(target)
+            assert cookies.matched_fraction >= ndpi.matched_fraction
+            assert cookies.false_packets == 0
+
+    def test_full_tuple_oob_broken_by_nat(self):
+        """Without the dst-only workaround, NAT invalidates every rule."""
+        result = run_oob("cnn.com", mode="full_tuple")
+        assert result.matched_fraction < 0.05
+
+    def test_result_summary_shape(self, cnn_results):
+        summary = cnn_results["cookies"].summary()
+        assert {"mechanism", "target", "matched", "false_of_marked"} <= set(summary)
+
+
+class TestFig4:
+    def test_gbps_grows_with_packet_size(self):
+        small = run_point(64, 50, descriptors=50, flows=40)
+        large = run_point(1500, 50, descriptors=50, flows=40)
+        assert large.sample.gbps > small.sample.gbps * 3
+
+    def test_pps_grows_with_flow_length(self):
+        """Per-flow cookie work amortizes over longer flows."""
+        short = run_point(512, 10, descriptors=50, flows=60)
+        long = run_point(512, 100, descriptors=50, flows=6)
+        assert long.sample.packets_per_second > short.sample.packets_per_second
+
+    def test_all_cookies_hit(self):
+        point = run_point(512, 50, descriptors=50, flows=40)
+        assert point.cookie_hits == point.flows
+
+
+class TestFig5b:
+    @pytest.fixture(scope="class")
+    def fcts(self):
+        return {
+            service: [run_trial(service, seed=s) for s in range(3)]
+            for service in ("best-effort", "boosted", "throttled")
+        }
+
+    def test_boosted_fastest(self, fcts):
+        assert max(fcts["boosted"]) < min(fcts["best-effort"])
+
+    def test_throttled_slowest(self, fcts):
+        assert min(fcts["throttled"]) > max(fcts["best-effort"])
+
+    def test_boosted_near_ideal(self, fcts):
+        ideal = 300_000 * 8 / 6e6  # 0.4 s
+        assert all(fct < ideal * 4 for fct in fcts["boosted"])
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            run_trial("warp-speed")
+
+
+class TestSec3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sec3()
+
+    def test_cnn_page_stats(self, result):
+        assert result.cnn_flows == 255
+        assert result.cnn_packets == 6741
+        assert result.cnn_servers == 71
+
+    def test_cnn_server_packets_under_10_percent(self, result):
+        assert result.packets_from_cnn_servers == 605
+        assert result.cnn_server_fraction < 0.10
+
+    def test_ndpi_sni_fraction_18_percent(self, result):
+        assert result.ndpi_marked_fraction == pytest.approx(0.18, abs=0.02)
+
+    def test_coverage_numbers(self, result):
+        assert result.ndpi_known_survey_apps == 23
+        assert result.survey_apps_total == 106
+        assert result.music_freedom_covered == 17
+        assert result.music_survey_apps == 51
+
+
+class TestSec46:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sec46(scale=0.0002)
+
+    def test_trace_marginals(self, result):
+        assert result.trace.median_flow_packets == pytest.approx(50, rel=0.2)
+        assert result.trace.p99_new_flows_per_second == pytest.approx(442, rel=0.35)
+
+    def test_all_cookies_verified(self, result):
+        assert result.cookie_hits == result.cookie_flows
+
+    def test_headroom_over_published_demand(self, result):
+        """The paper's "much more than required by the university trace"."""
+        assert result.headroom_over_p99 > 1.0
+
+    def test_subscribers_accounted(self, result):
+        assert result.subscribers_accounted > 0
+
+
+class TestSeedRobustness:
+    """The Fig. 6 outcome is a property of the page/NAT structure, not a
+    seed artifact: it must hold under different browser seeds."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_cookies_win_for_any_seed(self, seed):
+        cookies = run_cookies("cnn.com", seed=seed)
+        ndpi = run_ndpi("cnn.com", seed=seed)
+        oob = run_oob("cnn.com", seed=seed)
+        assert cookies.matched_fraction > 0.90
+        assert cookies.false_packets == 0
+        assert ndpi.matched_fraction == pytest.approx(0.18, abs=0.03)
+        assert oob.false_fraction_of_marked == pytest.approx(0.40, abs=0.06)

@@ -1,0 +1,134 @@
+"""The docs/TUTORIAL.md service, verbatim: a custom "study-hours"
+deprioritization lane built from the public API only.
+
+If this test breaks, the tutorial is lying — fix both.
+"""
+
+from repro.core import (
+    CookieAttributes,
+    CookieDescriptor,
+    CookieMatcher,
+    CookieServer,
+    DescriptorStore,
+    ServiceOffering,
+    UserAgent,
+)
+from repro.core.switch import CookieSwitch
+from repro.netsim.appmsg import TLSClientHello
+from repro.netsim.events import EventLoop
+from repro.netsim.links import Link
+from repro.netsim.middlebox import Sink
+from repro.netsim.packet import Packet, make_tcp_packet
+from repro.netsim.queues import StrictPriorityScheduler
+
+STUDY_CLASS = 3
+
+
+def study_hours_applier(descriptor: CookieDescriptor, packet: Packet) -> None:
+    packet.meta["qos_class"] = STUDY_CLASS
+    packet.meta["service"] = descriptor.service_data
+
+
+def _build(context=None):
+    clock = lambda: 0.0  # noqa: E731
+    server = CookieServer(clock=clock)
+
+    def study_attributes(now: float) -> CookieAttributes:
+        return CookieAttributes(
+            shared=True,
+            expires_at=now + 14 * 3600,
+            extra={"constraints": {"network": "home-wifi"}},
+        )
+
+    server.offer(
+        ServiceOffering(
+            name="study-hours",
+            description="deprioritize this device on school nights",
+            service_data="study-hours",
+            attribute_factory=study_attributes,
+        )
+    )
+    store = DescriptorStore()
+    server.attach_enforcement_store(store)
+    switch = CookieSwitch(
+        CookieMatcher(store),
+        clock=clock,
+        applier=study_hours_applier,
+        context=context if context is not None else {"network": "home-wifi"},
+    )
+    sink = Sink()
+    switch >> sink
+    parent = UserAgent("parent", clock=clock, channel=server.handle_request)
+    parent.acquire("study-hours")
+    return server, switch, sink, parent
+
+
+def _child_packet(parent=None, sport=5000):
+    packet = make_tcp_packet(
+        "192.168.1.30", sport, "142.250.72.1", 443,
+        content=TLSClientHello(sni="game-servers.example"),
+    )
+    if parent is not None:
+        parent.insert_cookie(packet, "study-hours")
+    return packet
+
+
+class TestStudyHoursService:
+    def test_tagged_traffic_deprioritized(self):
+        _server, _switch, sink, parent = _build()
+        _switch.push(_child_packet(parent))
+        assert sink.packets[0].meta["qos_class"] == STUDY_CLASS
+        assert sink.packets[0].meta["service"] == "study-hours"
+
+    def test_untagged_traffic_untouched(self):
+        _server, switch, sink, _parent = _build()
+        switch.push(_child_packet())
+        assert "qos_class" not in sink.packets[0].meta
+
+    def test_constraint_scopes_to_home_network(self):
+        """The same cookies do nothing at the coffee shop."""
+        _server, switch, sink, parent = _build(context={"network": "coffee-shop"})
+        switch.push(_child_packet(parent))
+        assert "qos_class" not in sink.packets[0].meta
+
+    def test_revocation_restores_service(self):
+        server, switch, sink, parent = _build()
+        switch.push(_child_packet(parent, sport=5000))
+        assert parent.request_revocation("study-hours")
+        # Even already-bound flows drop back to normal service.
+        switch.push(_child_packet(sport=5000))
+        assert "qos_class" not in sink.packets[1].meta
+        report = server.audit_log.regulator_report()
+        assert report["services"]["study-hours"]["revoked"] == 1
+
+    def test_enforcement_on_a_real_link(self):
+        """Study-hours traffic yields the bottleneck to everything else."""
+        _server, switch, _sink, parent = _build()
+        loop = EventLoop()
+        link = Link(
+            loop, rate_bps=10_000,
+            scheduler=StrictPriorityScheduler(levels=4),
+        )
+        egress = Sink()
+        switch.downstream = link
+        link >> egress
+
+        # The AP's default classifier puts untagged traffic in a normal
+        # class above the study lane (unmarked packets would otherwise
+        # fall into the scheduler's lowest class by default).
+        def classify_default(packet):
+            packet.meta.setdefault("qos_class", 1)
+
+        # Seize the transmitter, then queue one study packet and one
+        # normal packet: the normal one must depart first.
+        filler = _child_packet(sport=6001)
+        classify_default(filler)
+        switch.push(filler)
+        study = _child_packet(parent, sport=6000)
+        switch.push(study)
+        normal = _child_packet(sport=6002)
+        classify_default(normal)
+        switch.push(normal)
+        loop.run_until_idle()
+        order = [p.packet_id for p in egress.packets]
+        assert order.index(normal.packet_id) < order.index(study.packet_id)

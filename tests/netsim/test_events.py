@@ -1,0 +1,119 @@
+"""Discrete-event kernel tests: ordering, cancellation, bounds."""
+
+import pytest
+
+from repro.netsim.events import EventLoop, SimulationError
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert EventLoop().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("late"))
+        loop.schedule(1.0, lambda: order.append("early"))
+        loop.run_until_idle()
+        assert order == ["early", "late"]
+
+    def test_ties_break_in_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        for tag in ("a", "b", "c"):
+            loop.schedule(1.0, lambda t=tag: order.append(t))
+        loop.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(3.5, lambda: seen.append(loop.now))
+        loop.run_until_idle()
+        assert seen == [3.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run_until_idle()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            loop.schedule(1.0, lambda: seen.append(loop.now))
+
+        loop.schedule(1.0, first)
+        loop.run_until_idle()
+        assert seen == [2.0]
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_future_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(10.0, lambda: seen.append(10))
+        loop.run(until=5.0)
+        assert seen == [1]
+        assert loop.now == 5.0  # clock advanced to the horizon
+        loop.run_until_idle()
+        assert seen == [1, 10]
+
+    def test_run_returns_final_time(self):
+        loop = EventLoop()
+        loop.schedule(2.0, lambda: None)
+        assert loop.run_until_idle() == 2.0
+
+    def test_empty_run(self):
+        loop = EventLoop()
+        assert loop.run_until_idle() == 0.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.schedule(1.0, lambda: seen.append("no"))
+        loop.schedule(2.0, lambda: seen.append("yes"))
+        event.cancel()
+        loop.run_until_idle()
+        assert seen == ["yes"]
+
+    def test_cancel_after_run_is_harmless(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.run_until_idle()
+        event.cancel()  # no error
+
+
+class TestGuards:
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            loop.run_until_idle(max_events=1000)
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(1.0, lambda: None)
+        loop.run_until_idle()
+        assert loop.events_processed == 5
+
+    def test_pending_counts_queue(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending == 2

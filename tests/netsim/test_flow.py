@@ -1,0 +1,129 @@
+"""Flow key and flow table tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.flow import FiveTuple, FlowTable, flow_key_of
+from repro.netsim.packet import make_tcp_packet
+
+
+def _tuple(src="1.1.1.1", sport=100, dst="2.2.2.2", dport=200, proto=6):
+    return FiveTuple(src, sport, dst, dport, proto)
+
+
+ips = st.tuples(*([st.integers(0, 255)] * 4)).map(lambda t: ".".join(map(str, t)))
+ports = st.integers(0, 65535)
+
+
+class TestFiveTuple:
+    def test_reverse_is_involution(self):
+        key = _tuple()
+        assert key.reversed().reversed() == key
+
+    def test_both_directions_share_canonical(self):
+        key = _tuple()
+        assert key.canonical() == key.reversed().canonical()
+
+    def test_canonical_is_idempotent(self):
+        key = _tuple()
+        assert key.canonical().canonical() == key.canonical()
+
+    def test_of_packet(self):
+        packet = make_tcp_packet("10.0.0.1", 5000, "10.0.0.2", 443)
+        key = FiveTuple.of_packet(packet)
+        assert key.src_ip == "10.0.0.1" and key.dst_port == 443
+
+    def test_of_packet_without_headers_raises(self):
+        from repro.netsim.packet import Packet
+
+        with pytest.raises(ValueError):
+            FiveTuple.of_packet(Packet())
+
+    @given(src=ips, sport=ports, dst=ips, dport=ports)
+    def test_canonical_properties(self, src, sport, dst, dport):
+        key = FiveTuple(src, sport, dst, dport, 6)
+        canonical = key.canonical()
+        assert canonical == key.reversed().canonical()
+        assert canonical.canonical() == canonical
+
+
+class TestFlowTable:
+    def test_new_flow_detected(self):
+        table = FlowTable()
+        packet = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)
+        flow, is_new = table.observe(packet, now=0.0)
+        assert is_new and flow.packets == 1
+
+    def test_same_flow_not_new(self):
+        table = FlowTable()
+        packet = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)
+        table.observe(packet, now=0.0)
+        _flow, is_new = table.observe(packet, now=0.1)
+        assert not is_new
+
+    def test_reverse_direction_same_flow(self):
+        table = FlowTable()
+        forward = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2, payload_size=10)
+        reverse = make_tcp_packet("2.2.2.2", 2, "1.1.1.1", 1, payload_size=20)
+        flow, _ = table.observe(forward, now=0.0)
+        same, is_new = table.observe(reverse, now=0.1)
+        assert same is flow and not is_new
+        assert flow.packets_forward == 1 and flow.packets_reverse == 1
+
+    def test_byte_counters(self):
+        table = FlowTable()
+        packet = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2, payload_size=60)
+        flow, _ = table.observe(packet, now=0.0)
+        assert flow.bytes == packet.wire_length
+
+    def test_idle_timeout_creates_new_flow(self):
+        table = FlowTable(idle_timeout=10.0)
+        packet = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)
+        old, _ = table.observe(packet, now=0.0)
+        fresh, is_new = table.observe(packet, now=20.0)
+        assert is_new and fresh is not old
+        assert table.evicted_count == 1
+
+    def test_expire_evicts_stale(self):
+        table = FlowTable(idle_timeout=5.0)
+        table.observe(make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2), now=0.0)
+        table.observe(make_tcp_packet("3.3.3.3", 1, "4.4.4.4", 2), now=4.0)
+        assert table.expire(now=7.0) == 1
+        assert len(table) == 1
+
+    def test_eviction_callback(self):
+        evicted = []
+        table = FlowTable(idle_timeout=1.0, on_evict=evicted.append)
+        table.observe(make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2), now=0.0)
+        table.expire(now=5.0)
+        assert len(evicted) == 1
+
+    def test_lookup(self):
+        table = FlowTable()
+        packet = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)
+        assert table.lookup(packet) is None
+        flow, _ = table.observe(packet, now=0.0)
+        assert table.lookup(packet) is flow
+
+    def test_remove(self):
+        table = FlowTable()
+        packet = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)
+        table.observe(packet, now=0.0)
+        assert table.remove(packet) is not None
+        assert len(table) == 0
+        assert table.remove(packet) is None
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTable(idle_timeout=0)
+
+    def test_flow_key_of_canonicalizes(self):
+        forward = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2)
+        reverse = make_tcp_packet("2.2.2.2", 2, "1.1.1.1", 1)
+        assert flow_key_of(forward) == flow_key_of(reverse)
+
+    def test_iteration(self):
+        table = FlowTable()
+        table.observe(make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2), now=0.0)
+        table.observe(make_tcp_packet("3.3.3.3", 3, "4.4.4.4", 4), now=0.0)
+        assert len(list(table)) == 2

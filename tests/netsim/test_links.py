@@ -1,0 +1,123 @@
+"""Link tests: serialization timing, propagation, priority interaction."""
+
+import pytest
+
+from repro.netsim.events import EventLoop
+from repro.netsim.links import Link
+from repro.netsim.middlebox import Sink
+from repro.netsim.packet import make_tcp_packet
+from repro.netsim.queues import StrictPriorityScheduler
+
+
+def _packet(size=1210, qos=None):
+    # 1210 payload + 40 headers = 1250 wire bytes = 10_000 bits
+    packet = make_tcp_packet("1.1.1.1", 1, "2.2.2.2", 2, payload_size=size)
+    if qos is not None:
+        packet.meta["qos_class"] = qos
+    return packet
+
+
+class TestSerialization:
+    def test_transmit_time_matches_rate(self):
+        loop = EventLoop()
+        sink = Sink()
+        link = Link(loop, rate_bps=10_000)  # 10 kb/s
+        link >> sink
+        link.push(_packet())  # 10_000 bits -> exactly 1 s
+        loop.run_until_idle()
+        assert loop.now == pytest.approx(1.0)
+        assert sink.count == 1
+
+    def test_back_to_back_serialize_sequentially(self):
+        loop = EventLoop()
+        sink = Sink()
+        link = Link(loop, rate_bps=10_000)
+        link >> sink
+        link.push(_packet())
+        link.push(_packet())
+        loop.run_until_idle()
+        assert loop.now == pytest.approx(2.0)
+
+    def test_propagation_delay_added(self):
+        loop = EventLoop()
+        arrivals = []
+        sink = Sink()
+        link = Link(loop, rate_bps=10_000, delay=0.5)
+        link >> sink
+
+        class Recorder(Sink):
+            def handle(self, packet):
+                arrivals.append(loop.now)
+                super().handle(packet)
+
+        link.downstream = Recorder()
+        link.push(_packet())
+        loop.run_until_idle()
+        assert arrivals == [pytest.approx(1.5)]
+
+    def test_departure_timestamp_recorded(self):
+        loop = EventLoop()
+        sink = Sink()
+        link = Link(loop, rate_bps=10_000, name="wan")
+        link >> sink
+        packet = _packet()
+        link.push(packet)
+        loop.run_until_idle()
+        assert packet.meta["link_departures"]["wan"] == pytest.approx(1.0)
+
+    def test_counters(self):
+        loop = EventLoop()
+        link = Link(loop, rate_bps=1e6)
+        link >> Sink()
+        packet = _packet()
+        link.push(packet)
+        loop.run_until_idle()
+        assert link.transmitted_packets == 1
+        assert link.transmitted_bytes == packet.wire_length
+
+
+class TestPriorityOnLink:
+    def test_high_priority_jumps_queue(self):
+        loop = EventLoop()
+        sink = Sink()
+        link = Link(loop, rate_bps=10_000, scheduler=StrictPriorityScheduler(levels=2))
+        link >> sink
+        # First packet seizes the transmitter; then a low and a high queue up.
+        link.push(_packet(qos=1))
+        low = _packet(qos=1)
+        high = _packet(qos=0)
+        link.push(low)
+        link.push(high)
+        loop.run_until_idle()
+        order = [p.packet_id for p in sink.packets]
+        assert order.index(high.packet_id) < order.index(low.packet_id)
+
+
+class TestConfig:
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Link(EventLoop(), rate_bps=0)
+
+    def test_bad_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Link(EventLoop(), rate_bps=1, delay=-1)
+
+    def test_set_rate(self):
+        loop = EventLoop()
+        link = Link(loop, rate_bps=10_000)
+        link >> Sink()
+        link.set_rate(20_000)
+        link.push(_packet())
+        loop.run_until_idle()
+        assert loop.now == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            link.set_rate(-5)
+
+    def test_on_transmit_callback(self):
+        loop = EventLoop()
+        transmitted = []
+        link = Link(loop, rate_bps=1e6, on_transmit=transmitted.append)
+        link >> Sink()
+        link.push(_packet())
+        loop.run_until_idle()
+        assert len(transmitted) == 1

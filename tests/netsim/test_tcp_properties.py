@@ -1,0 +1,91 @@
+"""TCP model properties: delivery completeness and approximate fairness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.events import EventLoop
+from repro.netsim.links import Link
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.tcpmodel import TcpTransfer, TransferEndpoint
+
+
+def _path(loop, rate_bps=4e6, queue_packets=60):
+    endpoint = TransferEndpoint()
+    link = Link(
+        loop,
+        rate_bps=rate_bps,
+        delay=0.01,
+        scheduler=DropTailQueue(capacity_packets=queue_packets),
+    )
+    link >> endpoint
+    return link
+
+
+class TestDeliveryCompleteness:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        size=st.integers(1_000, 400_000),
+        rate=st.floats(5e5, 2e7),
+        queue=st.integers(8, 120),
+    )
+    def test_every_byte_eventually_delivered(self, size, rate, queue):
+        """Whatever the link rate and queue depth, the transfer completes
+        and the receiver holds every segment exactly as sent."""
+        loop = EventLoop()
+        link = _path(loop, rate_bps=rate, queue_packets=queue)
+        transfer = TcpTransfer(loop, link, size_bytes=size)
+        transfer.start()
+        loop.run(until=600.0)
+        assert transfer.completed
+        assert transfer._received == set(range(transfer.total_segments))
+
+    def test_completion_time_lower_bounded_by_link(self):
+        """No transfer finishes faster than serialization allows."""
+        loop = EventLoop()
+        link = _path(loop, rate_bps=1e6)
+        transfer = TcpTransfer(loop, link, size_bytes=125_000)  # 1 Mbit
+        transfer.start()
+        loop.run_until_idle()
+        assert transfer.completion_time >= 125_000 * 8 / 1e6
+
+
+class TestFairness:
+    def _competing(self, n_flows, size=300_000, rate=6e6):
+        loop = EventLoop()
+        link = _path(loop, rate_bps=rate, queue_packets=100)
+        transfers = [
+            TcpTransfer(
+                loop, link, size_bytes=size,
+                src_ip=f"203.0.113.{10 + i}", dst_port=50_000 + i,
+            )
+            for i in range(n_flows)
+        ]
+        for transfer in transfers:
+            transfer.start()
+        loop.run(until=300.0)
+        assert all(t.completed for t in transfers)
+        return [t.completion_time for t in transfers]
+
+    def test_jain_fairness_index(self):
+        """Concurrent identical transfers finish within a reasonable
+        fairness band (Jain's index well above the 1/n worst case)."""
+        fcts = self._competing(4)
+        rates = [1.0 / fct for fct in fcts]
+        jain = sum(rates) ** 2 / (len(rates) * sum(r * r for r in rates))
+        assert jain > 0.6  # 1.0 = perfectly fair, 0.25 = one flow hogs
+
+    def test_aggregate_throughput_uses_the_link(self):
+        """The flows together use a solid share of the link.  Synchronized
+        drop-tail losses and slow-start tails keep NewReno-style senders
+        under full utilization; half the link over the whole makespan is
+        the sanity bar, not an ideal."""
+        size, rate = 300_000, 6e6
+        fcts = self._competing(3, size=size, rate=rate)
+        makespan = max(fcts)
+        aggregate_bps = 3 * size * 8 / makespan
+        assert aggregate_bps > 0.5 * rate
+
+    def test_more_flows_take_longer_each(self):
+        solo = self._competing(1)[0]
+        shared = max(self._competing(4))
+        assert shared > 2.0 * solo

@@ -1,0 +1,187 @@
+"""Zero-rating middlebox and accounting tests."""
+
+import pytest
+
+from repro.core import CookieDescriptor, CookieGenerator, CookieMatcher, DescriptorStore
+from repro.core.transport import default_registry
+from repro.netsim.appmsg import TLSClientHello
+from repro.netsim.packet import make_tcp_packet
+from repro.services.zerorate import (
+    AccountingLedger,
+    BillingPlan,
+    SubscriberCounters,
+    ZeroRatingMiddlebox,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _env():
+    clock = Clock()
+    store = DescriptorStore()
+    descriptor = store.add(CookieDescriptor.create(service_data="zero-rate"))
+    middlebox = ZeroRatingMiddlebox(CookieMatcher(store), clock=clock)
+    return clock, store, descriptor, middlebox
+
+
+def _flow_packets(descriptor, clock, sport=5000, count=5, cookied=True):
+    packets = []
+    first = make_tcp_packet(
+        "10.0.0.1", sport, "93.184.216.34", 443,
+        content=TLSClientHello(sni="app.example.com"), payload_size=200,
+    )
+    if cookied:
+        cookie = CookieGenerator(descriptor, clock).generate()
+        default_registry().attach(first, cookie)
+    packets.append(first)
+    for _ in range(count - 1):
+        packets.append(
+            make_tcp_packet(
+                "93.184.216.34", 443, "10.0.0.1", sport,
+                payload_size=1200, encrypted=True,
+            )
+        )
+    return packets
+
+
+class TestCounting:
+    def test_cookied_flow_counted_free(self):
+        clock, _store, descriptor, middlebox = _env()
+        packets = _flow_packets(descriptor, clock)
+        for packet in packets:
+            middlebox.handle(packet)
+        counters = middlebox.counters_for("10.0.0.1")
+        assert counters.free_bytes == sum(p.wire_length for p in packets)
+        assert counters.charged_bytes == 0
+
+    def test_uncookied_flow_counted_charged(self):
+        clock, _store, descriptor, middlebox = _env()
+        packets = _flow_packets(descriptor, clock, cookied=False)
+        for packet in packets:
+            middlebox.handle(packet)
+        counters = middlebox.counters_for("10.0.0.1")
+        assert counters.charged_bytes == sum(p.wire_length for p in packets)
+        assert counters.free_bytes == 0
+
+    def test_both_directions_free(self):
+        """The paper enforces "the service in software for both directions
+        of a flow"."""
+        clock, _store, descriptor, middlebox = _env()
+        for packet in _flow_packets(descriptor, clock, count=10):
+            middlebox.handle(packet)
+        counters = middlebox.counters_for("10.0.0.1")
+        assert counters.charged_bytes == 0
+
+    def test_two_counters_per_subscriber(self):
+        clock, _store, descriptor, middlebox = _env()
+        for packet in _flow_packets(descriptor, clock, sport=5000, cookied=True):
+            middlebox.handle(packet)
+        for packet in _flow_packets(descriptor, clock, sport=5001, cookied=False):
+            middlebox.handle(packet)
+        counters = middlebox.counters_for("10.0.0.1")
+        assert counters.free_bytes > 0 and counters.charged_bytes > 0
+        assert 0 < counters.free_fraction < 1
+
+    def test_invalid_cookie_charged(self):
+        clock, _store, _descriptor, middlebox = _env()
+        stranger = CookieDescriptor.create()
+        for packet in _flow_packets(stranger, clock):
+            middlebox.handle(packet)
+        assert middlebox.counters_for("10.0.0.1").charged_bytes > 0
+        assert middlebox.cookie_misses == 1
+
+    def test_cookie_after_sniff_window_charged(self):
+        clock, _store, descriptor, middlebox = _env()
+        plain = _flow_packets(descriptor, clock, cookied=False, count=4)
+        for packet in plain:
+            middlebox.handle(packet)
+        late = _flow_packets(descriptor, clock, cookied=True, count=1)[0]
+        middlebox.handle(late)
+        assert middlebox.counters_for("10.0.0.1").free_bytes == 0
+
+    def test_zero_rated_meta_stamped(self):
+        clock, _store, descriptor, middlebox = _env()
+        first = _flow_packets(descriptor, clock, count=1)[0]
+        middlebox.handle(first)
+        assert first.meta.get("zero_rated")
+
+    def test_subscribers_keyed_by_inside_address(self):
+        clock, _store, descriptor, middlebox = _env()
+        for packet in _flow_packets(descriptor, clock):
+            middlebox.handle(packet)
+        assert list(middlebox.counters) == ["10.0.0.1"]
+
+    def test_flow_state_expiry(self):
+        clock, _store, descriptor, middlebox = _env()
+        for packet in _flow_packets(descriptor, clock):
+            middlebox.handle(packet)
+        assert middlebox.tracked_flows == 1
+        assert middlebox.expire_flows() == 1
+        assert middlebox.tracked_flows == 0
+
+    def test_non_ip_passthrough(self):
+        from repro.netsim.packet import Packet
+
+        _clock, _store, _descriptor, middlebox = _env()
+        middlebox.handle(Packet())
+        assert middlebox.packets_processed == 1
+
+
+class TestAccounting:
+    def _counters(self, free=0, charged=0):
+        return SubscriberCounters(free_bytes=free, charged_bytes=charged)
+
+    def test_invoice_under_cap(self):
+        ledger = AccountingLedger(BillingPlan(monthly_cap_bytes=10**9))
+        invoice = ledger.invoice("10.0.0.1", self._counters(charged=5 * 10**8))
+        assert invoice.overage == 0
+        assert invoice.total == invoice.base_price
+
+    def test_invoice_overage(self):
+        plan = BillingPlan(monthly_cap_bytes=10**9, overage_per_gb=10.0)
+        ledger = AccountingLedger(plan)
+        invoice = ledger.invoice("10.0.0.1", self._counters(charged=3 * 10**9))
+        assert invoice.overage == pytest.approx(20.0)
+
+    def test_zero_rated_bytes_never_hit_cap(self):
+        ledger = AccountingLedger(BillingPlan(monthly_cap_bytes=10**9))
+        counters = self._counters(free=5 * 10**9, charged=10**8)
+        assert not ledger.over_cap("10.0.0.1", counters)
+        invoice = ledger.invoice("10.0.0.1", counters)
+        assert invoice.overage == 0
+        assert invoice.free_bytes == 5 * 10**9
+
+    def test_per_subscriber_plans(self):
+        ledger = AccountingLedger()
+        premium = BillingPlan(name="premium", monthly_cap_bytes=10**12)
+        ledger.enroll("10.0.0.9", premium)
+        assert ledger.plan_of("10.0.0.9") is premium
+        assert ledger.plan_of("10.0.0.1") is ledger.default_plan
+
+    def test_invoice_all_from_middlebox(self):
+        clock, _store, descriptor, middlebox = _env()
+        for packet in _flow_packets(descriptor, clock):
+            middlebox.handle(packet)
+        ledger = AccountingLedger()
+        invoices = ledger.invoice_all(middlebox)
+        assert len(invoices) == 1
+        assert invoices[0].subscriber == "10.0.0.1"
+
+    def test_savings_report(self):
+        clock, _store, descriptor, middlebox = _env()
+        for packet in _flow_packets(descriptor, clock):
+            middlebox.handle(packet)
+        report = AccountingLedger().savings_report(middlebox)
+        assert report["10.0.0.1"] == 1.0
+
+    def test_cap_used_fraction(self):
+        plan = BillingPlan(monthly_cap_bytes=10**9)
+        ledger = AccountingLedger(plan)
+        invoice = ledger.invoice("x", self._counters(charged=5 * 10**8))
+        assert invoice.cap_used_fraction == pytest.approx(0.5)

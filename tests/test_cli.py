@@ -1,0 +1,68 @@
+"""CLI tests: every subcommand runs and prints its headline."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("fig1", "fig2", "fig4", "fig5b", "fig6",
+                        "table1", "sec3", "sec46"):
+            args = parser.parse_args([command] + (
+                ["--trials", "1"] if command == "fig5b" else []
+            ))
+            assert args.command == command
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9000"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table1" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "regenerable" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "cookies" in out and "diffserv" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "unique_preference_fraction" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "facebook" in out and "Music Freedom" in out
+
+    def test_sec3(self, capsys):
+        assert main(["sec3"]) == 0
+        assert "255 flows" in capsys.readouterr().out
+
+    def test_sec46_quick(self, capsys):
+        assert main(["sec46", "--scale", "0.0001"]) == 0
+        assert "sustainable_new_flows_per_s" in capsys.readouterr().out
+
+    def test_fig5b_single_trial(self, capsys):
+        assert main(["fig5b", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "boosted" in out and "throttled" in out
+
+    def test_fig4_quick(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        assert "Gbps" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "cnn.com" in out and "oob" in out

@@ -1,0 +1,65 @@
+"""Shared server pool sanity: the co-hosting substrate must be coherent."""
+
+from repro.web import servers as S
+from repro.web.sites import site_catalog
+
+
+def _all_farms():
+    return {
+        "cnn": S.CNN_SERVERS,
+        "skai": S.SKAI_SERVERS,
+        "youtube": S.YOUTUBE_SERVERS,
+        "facebook": S.FACEBOOK_SERVERS,
+        "twitter": S.TWITTER_SERVERS,
+        "akamai": S.AKAMAI_SERVERS,
+        "cloudfront": S.CLOUDFRONT_SERVERS,
+        "fastly": S.FASTLY_SERVERS,
+        "googlevideo": S.GOOGLEVIDEO_SERVERS,
+        "ytimg": S.YTIMG_SERVERS,
+        "google": S.GOOGLE_SERVERS,
+        "doubleclick": S.DOUBLECLICK_SERVERS,
+        "trackers": S.TRACKER_SERVERS,
+        "misc_ads": S.MISC_AD_SERVERS,
+        "prefetch": S.PREFETCH_SERVERS,
+    }
+
+
+class TestServerPool:
+    def test_ips_globally_unique(self):
+        """Two different servers must never share an IP — co-hosting is
+        modelled by *reusing the same object*, not by IP collisions."""
+        ips = [s.ip for farm in _all_farms().values() for s in farm] + [
+            S.RESOLVER.ip
+        ]
+        assert len(ips) == len(set(ips))
+
+    def test_hostnames_globally_unique(self):
+        names = [s.hostname for farm in _all_farms().values() for s in farm]
+        assert len(names) == len(set(names))
+
+    def test_cdn_flags(self):
+        assert all(s.is_cdn for s in S.AKAMAI_SERVERS)
+        assert not any(s.is_cdn for s in S.CNN_SERVERS)
+
+    def test_operator_labels_consistent_per_farm(self):
+        for farm in _all_farms().values():
+            assert len({s.operator for s in farm}) == 1
+
+    def test_catalog_site_objects_share_server_identity(self):
+        """The overlap between pages is by object identity — the property
+        the OOB false positives depend on."""
+        catalog = site_catalog()
+        cnn_servers = {
+            id(f.server) for f in catalog["cnn.com"].web_flows
+            if f.server.operator == "akamai"
+        }
+        fb_servers = {
+            id(f.server) for f in catalog["facebook.com"].web_flows
+            if f.server.operator == "akamai"
+        }
+        assert cnn_servers & fb_servers
+
+    def test_googlevideo_attributed_to_youtube_operator(self):
+        """The embed false-positive mechanism requires googlevideo's
+        operator label to be youtube."""
+        assert all(s.operator == "youtube" for s in S.GOOGLEVIDEO_SERVERS)
