@@ -1,0 +1,87 @@
+"""Churn ablation — middlebox memory stays flat while flows churn.
+
+The ROADMAP's production target is millions of users; the middlebox must
+therefore hold *recently active* state only.  This drives 100k distinct
+flows through a capped middlebox and an uncapped control, and reports the
+state footprint of each: the capped box plateaus at its configured
+bounds, the control grows linearly with flows ever seen.
+"""
+
+from repro.core import CookieDescriptor, CookieMatcher, DescriptorStore
+from repro.netsim.packet import make_tcp_packet
+from repro.services.zerorate import ZeroRatingMiddlebox
+
+CHURN_FLOWS = 100_000
+MAX_FLOWS = 4_096
+MAX_SUBSCRIBERS = 1_024
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _drive(middlebox, clock, flows=CHURN_FLOWS):
+    for i in range(flows):
+        clock.now = i * 0.001
+        middlebox.handle(
+            make_tcp_packet(
+                f"10.{(i >> 8) & 255}.{i & 255}.7", 1024 + (i % 60000),
+                "93.184.216.34", 443, payload_size=100,
+            )
+        )
+    return middlebox.tracked_flows + middlebox.tracked_subscribers
+
+
+def _capped():
+    clock = _Clock()
+    store = DescriptorStore()
+    store.add(CookieDescriptor.create(service_data="zr"))
+    return (
+        ZeroRatingMiddlebox(
+            CookieMatcher(store),
+            clock=clock,
+            max_flows=MAX_FLOWS,
+            max_subscribers=MAX_SUBSCRIBERS,
+            flow_idle_timeout=30.0,
+        ),
+        clock,
+    )
+
+
+def _uncapped():
+    clock = _Clock()
+    store = DescriptorStore()
+    return (
+        ZeroRatingMiddlebox(
+            CookieMatcher(store),
+            clock=clock,
+            max_flows=10**9,
+            max_subscribers=10**9,
+            flow_idle_timeout=10**9,
+        ),
+        clock,
+    )
+
+
+def test_churn_bounded_state(benchmark, report):
+    footprint = benchmark.pedantic(
+        lambda: _drive(*_capped()), rounds=1, iterations=1
+    )
+    control_box, control_clock = _uncapped()
+    control = _drive(control_box, control_clock)
+
+    report(f"state footprint after {CHURN_FLOWS:,} distinct flows")
+    report(f"  capped   (max_flows={MAX_FLOWS:,}, "
+           f"max_subscribers={MAX_SUBSCRIBERS:,}): {footprint:,} entries")
+    report(f"  uncapped control:                   {control:,} entries")
+
+    benchmark.extra_info["capped_entries"] = footprint
+    benchmark.extra_info["uncapped_entries"] = control
+
+    assert footprint <= MAX_FLOWS + MAX_SUBSCRIBERS
+    assert control >= CHURN_FLOWS  # flows + subscribers, all retained
+    assert footprint * 10 < control

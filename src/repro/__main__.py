@@ -108,6 +108,91 @@ def _cmd_sec46(args) -> None:
         print(f"  {key}: {value}")
 
 
+def _cmd_stats(args) -> None:
+    """One merged telemetry snapshot for a synthetic data-path workload."""
+    snapshot = run_stats_workload(flows=args.flows, packets_per_flow=6)
+    if args.json:
+        print(snapshot.to_json())
+    else:
+        print(f"telemetry snapshot — {args.flows} flows through "
+              "cookie switch + zero-rating middlebox")
+        print(snapshot.format_text())
+
+
+def run_stats_workload(flows: int = 200, packets_per_flow: int = 6):
+    """Drive a cookie switch and a zero-rating middlebox (each with its
+    own matcher) through one registry and return the merged snapshot.
+
+    The traffic mix exercises every counter family: valid cookies,
+    forged cookies, replays, and bare flows, over enough simulated time
+    for the replay cache to rotate.
+    """
+    from repro.core import (
+        CookieDescriptor,
+        CookieGenerator,
+        CookieMatcher,
+        DescriptorStore,
+    )
+    from repro.core.switch import CookieSwitch
+    from repro.core.transport import default_registry
+    from repro.netsim.middlebox import Sink
+    from repro.netsim.packet import make_tcp_packet
+    from repro.services.zerorate import ZeroRatingMiddlebox
+    from repro.telemetry import MetricsRegistry
+
+    clock_now = 0.0
+    clock = lambda: clock_now  # noqa: E731
+
+    store = DescriptorStore()
+    descriptor = store.add(CookieDescriptor.create(service_data="zero-rate"))
+    forged = CookieDescriptor.create(service_data="forged")
+
+    registry = MetricsRegistry()
+    switch = CookieSwitch(
+        CookieMatcher(store, telemetry=registry), clock=clock,
+        telemetry=registry,
+    )
+    middlebox = ZeroRatingMiddlebox(
+        CookieMatcher(store, telemetry=registry,
+                      telemetry_prefix="middlebox.matcher"),
+        clock=clock,
+        telemetry=registry,
+    )
+    switch >> middlebox >> Sink()
+    flow_sizes = registry.histogram(
+        "workload.flow_packets", buckets=(1, 2, 4, 8, 16)
+    )
+
+    transports = default_registry()
+    replay_cookie = None
+    for i in range(flows):
+        clock_now = i * 0.05  # ~20 new flows per simulated second
+        sport = 20000 + i
+        subscriber = f"10.0.{(i >> 8) & 255}.{i & 255}"
+        first = make_tcp_packet(subscriber, sport, "93.184.216.34", 443,
+                                payload_size=200)
+        if i % 2 == 0:  # valid cookie
+            cookie = CookieGenerator(descriptor, clock).generate()
+            transports.attach(first, cookie)
+            if replay_cookie is None:
+                replay_cookie = cookie
+        elif i % 10 == 1:  # forged cookie: verifies against no descriptor
+            transports.attach(
+                first, CookieGenerator(forged, clock).generate()
+            )
+        elif i % 10 == 3 and replay_cookie is not None:  # replayed uuid
+            transports.attach(first, replay_cookie)
+        count = 1 + (i % packets_per_flow)
+        switch.push(first)
+        for _ in range(count - 1):
+            switch.push(
+                make_tcp_packet("93.184.216.34", 443, subscriber, sport,
+                                payload_size=1200)
+            )
+        flow_sizes.observe(count)
+    return registry.snapshot()
+
+
 COMMANDS = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -117,6 +202,7 @@ COMMANDS = {
     "table1": _cmd_table1,
     "sec3": _cmd_sec3,
     "sec46": _cmd_sec46,
+    "stats": _cmd_stats,
 }
 
 
@@ -140,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sec3", help="DPI limitations on cnn.com")
     sec46 = sub.add_parser("sec46", help="campus trace replay")
     sec46.add_argument("--scale", type=float, default=0.0004)
+    stats = sub.add_parser(
+        "stats",
+        help="merged telemetry snapshot (matcher + switch + middlebox)",
+    )
+    stats.add_argument("--flows", type=int, default=200,
+                       help="synthetic flows to drive through the path")
+    stats.add_argument("--json", action="store_true",
+                       help="print the snapshot as JSON")
     return parser
 
 

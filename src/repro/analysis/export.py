@@ -13,12 +13,14 @@ import json
 from collections import Counter
 from typing import Any
 
+from ..telemetry import TelemetrySnapshot
 from .cdf import EmpiricalCDF
 
 __all__ = [
     "cdf_to_csv",
     "counts_to_csv",
     "series_to_csv",
+    "telemetry_to_csv",
     "figure_bundle_to_json",
 ]
 
@@ -82,11 +84,25 @@ def series_to_csv(
     return buffer.getvalue()
 
 
+def telemetry_to_csv(snapshot: TelemetrySnapshot) -> str:
+    """A telemetry snapshot as flat ``kind,name,value`` rows.
+
+    Histograms are flattened to ``count`` / ``sum`` / ``mean`` / ``p50``
+    / ``p99`` rows, so the whole snapshot fits one rectangular table for
+    spreadsheets and plotting tools.
+    """
+    rows = snapshot.rows()
+    if not rows:
+        raise ValueError("snapshot has no metrics")
+    return series_to_csv(rows, columns=["kind", "name", "value"])
+
+
 def figure_bundle_to_json(figures: dict[str, Any]) -> str:
     """Bundle several figures' data into one JSON document.
 
     Counters become ``{item: count}`` objects; CDFs become curve point
-    lists; everything else must already be JSON-serializable.
+    lists; telemetry snapshots become their ``as_dict`` form; everything
+    else must already be JSON-serializable.
     """
 
     def encode(value: Any) -> Any:
@@ -94,6 +110,8 @@ def figure_bundle_to_json(figures: dict[str, Any]) -> str:
             return dict(value.most_common())
         if isinstance(value, EmpiricalCDF):
             return [[x, y] for x, y in value.curve()]
+        if isinstance(value, TelemetrySnapshot):
+            return value.as_dict()
         if isinstance(value, dict):
             return {k: encode(v) for k, v in value.items()}
         if isinstance(value, (list, tuple)):

@@ -54,16 +54,24 @@ class ReplayCache:
         self._current: set[bytes] = set()
         self._previous: set[bytes] = set()
         self._generation_start = 0.0
+        #: Generation swaps since construction (telemetry: a healthy cache
+        #: rotates ~1/NCT per second under load; a stalled count under
+        #: traffic means the clock is not advancing).
+        self.rotations = 0
+        #: Multi-window idle periods that fast-forwarded both generations.
+        self.idle_resets = 0
 
     def _rotate(self, now: float) -> None:
         while now - self._generation_start >= self.window:
             self._previous = self._current
             self._current = set()
             self._generation_start += self.window
+            self.rotations += 1
             # If we've been idle for multiple windows, fast-forward.
             if now - self._generation_start >= self.window:
                 self._previous = set()
                 self._generation_start = now
+                self.idle_resets += 1
                 break
 
     def seen_before(self, uuid: bytes, now: float) -> bool:
@@ -87,6 +95,11 @@ class ReplayCache:
     def size(self) -> int:
         """Number of uuids currently remembered (both generations)."""
         return len(self._current) + len(self._previous)
+
+    @property
+    def generation_age(self) -> float:
+        """Window start of the current generation (simulation seconds)."""
+        return self._generation_start
 
 
 @dataclass
@@ -142,6 +155,8 @@ class CookieMatcher:
         store: DescriptorStore,
         nct: float = NETWORK_COHERENCY_TIME,
         replay_cache: ReplayCache | None = None,
+        telemetry: "object | None" = None,
+        telemetry_prefix: str = "matcher",
     ) -> None:
         if nct <= 0:
             raise ValueError("network coherency time must be positive")
@@ -149,6 +164,34 @@ class CookieMatcher:
         self.nct = nct
         self.replay_cache = replay_cache or ReplayCache(window=nct)
         self.stats = MatchStats()
+        if telemetry is not None:
+            self.register_telemetry(telemetry, prefix=telemetry_prefix)
+
+    def register_telemetry(self, registry, prefix: str = "matcher") -> None:
+        """Export :class:`MatchStats` and the replay cache's size/rotation
+        levels into a :class:`~repro.telemetry.MetricsRegistry`, as a
+        collector named ``prefix`` (idempotent)."""
+        from ..telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            counters = {
+                f"{prefix}.{outcome}": count
+                for outcome, count in self.stats.as_dict().items()
+            }
+            counters[f"{prefix}.replay_cache.rotations"] = (
+                self.replay_cache.rotations
+            )
+            counters[f"{prefix}.replay_cache.idle_resets"] = (
+                self.replay_cache.idle_resets
+            )
+            return TelemetrySnapshot(
+                counters=counters,
+                gauges={
+                    f"{prefix}.replay_cache.size": self.replay_cache.size,
+                },
+            )
+
+        registry.register_collector(prefix, collect)
 
     def verify(self, cookie: Cookie, now: float) -> CookieDescriptor:
         """Full verification; returns the descriptor or raises."""

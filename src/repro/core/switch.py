@@ -17,7 +17,7 @@ mapping" deployment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..netsim.events import EventLoop
 from ..netsim.flow import FiveTuple, Flow, FlowTable
@@ -29,6 +29,9 @@ from .generator import CookieGenerator
 from .errors import CookieError, TransportError
 from .matcher import CookieMatcher
 from .transport.registry import TransportRegistry, default_registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ..telemetry import MetricsRegistry
 
 __all__ = ["CookieSwitch", "DscpServiceApplier", "SwitchStats", "FAST_LANE_CLASS"]
 
@@ -93,6 +96,8 @@ class CookieSwitch(Element):
         sniff_packets: int = DEFAULT_SNIFF_PACKETS,
         flow_idle_timeout: float = 60.0,
         context: dict[str, Any] | None = None,
+        telemetry: "MetricsRegistry | None" = None,
+        telemetry_prefix: str = "switch",
         name: str = "cookie-switch",
     ) -> None:
         super().__init__(name)
@@ -110,6 +115,34 @@ class CookieSwitch(Element):
         #: domain, ...), matched against descriptor constraint attributes.
         self.context: dict[str, Any] = dict(context or {})
         self.stats = SwitchStats()
+        if telemetry is not None:
+            self.register_telemetry(telemetry, prefix=telemetry_prefix)
+
+    def register_telemetry(
+        self, registry: "MetricsRegistry", prefix: str = "switch"
+    ) -> None:
+        """Export :class:`SwitchStats` plus flow-table occupancy into a
+        metrics registry, as a collector named ``prefix`` (idempotent)."""
+        from ..telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            stats = self.stats
+            return TelemetrySnapshot(
+                counters={
+                    f"{prefix}.packets": stats.packets,
+                    f"{prefix}.packets_sniffed": stats.packets_sniffed,
+                    f"{prefix}.cookies_found": stats.cookies_found,
+                    f"{prefix}.cookies_accepted": stats.cookies_accepted,
+                    f"{prefix}.cookies_rejected": stats.cookies_rejected,
+                    f"{prefix}.flows_bound": stats.flows_bound,
+                    f"{prefix}.packets_served": stats.packets_served,
+                    f"{prefix}.acks_attached": stats.acks_attached,
+                    f"{prefix}.flows_evicted": self.flows.evicted_count,
+                },
+                gauges={f"{prefix}.tracked_flows": len(self.flows)},
+            )
+
+        registry.register_collector(prefix, collect)
 
     # ------------------------------------------------------------------
     # Data path
@@ -176,12 +209,15 @@ class CookieSwitch(Element):
             return
         direction = FiveTuple.of_packet(packet)
         is_reverse = direction != flow.annotations.get("bound_direction")
+        if is_reverse and flow.annotations.pop("needs_ack", False):
+            # The delivery guarantee is about the *forward* service having
+            # been applied, so the ack rides the first reverse packet even
+            # when the descriptor does not service the reverse direction.
+            self._attach_ack(descriptor, packet)
         if is_reverse and not descriptor.attributes.apply_reverse:
             return
         self.applier(descriptor, packet)
         self.stats.packets_served += 1
-        if is_reverse and flow.annotations.pop("needs_ack", False):
-            self._attach_ack(descriptor, packet)
 
     def _attach_ack(self, descriptor: CookieDescriptor, packet: Packet) -> None:
         """Network delivery guarantee: acknowledge on reverse traffic.

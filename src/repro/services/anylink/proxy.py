@@ -81,18 +81,54 @@ class AnyLinkProxy(Element):
         profiles: dict[str, LinkProfile] | None = None,
         registry: TransportRegistry | None = None,
         sniff_packets: int = 3,
+        max_flows: int = 100_000,
+        telemetry=None,
+        telemetry_prefix: str = "anylink",
         name: str = "anylink-proxy",
     ) -> None:
         super().__init__(name)
+        if max_flows < 1:
+            raise ValueError("max_flows must be at least 1")
         self.loop = loop
         self.matcher = matcher
         self.registry = registry or default_registry()
         self.profiles = dict(profiles or STANDARD_PROFILES)
         self.sniff_packets = sniff_packets
+        self.max_flows = max_flows
         self._shapers: dict[str, ShaperElement] = {}
         self._flow_profiles: dict[object, str] = {}
+        # LRU-ordered (entries re-inserted on touch): the first key is the
+        # least recently active flow, evicted when max_flows is reached.
         self._flow_packets: dict[object, int] = {}
         self.flows_bound = 0
+        self.flows_evicted = 0
+        if telemetry is not None:
+            self.register_telemetry(telemetry, prefix=telemetry_prefix)
+
+    def register_telemetry(self, registry, prefix: str = "anylink") -> None:
+        """Export proxy bindings and per-profile flow counts into a
+        :class:`~repro.telemetry.MetricsRegistry`."""
+        from ...telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            gauges = {
+                f"{prefix}.tracked_flows": len(self._flow_packets),
+                f"{prefix}.active_shapers": len(self._shapers),
+            }
+            for profile_name in self.profiles:
+                bound = sum(
+                    1 for p in self._flow_profiles.values() if p == profile_name
+                )
+                gauges[f"{prefix}.profile.{profile_name}.flows"] = bound
+            return TelemetrySnapshot(
+                counters={
+                    f"{prefix}.flows_bound": self.flows_bound,
+                    f"{prefix}.flows_evicted": self.flows_evicted,
+                },
+                gauges=gauges,
+            )
+
+        registry.register_collector(prefix, collect)
 
     def _shaper_for(self, profile_name: str) -> ShaperElement:
         shaper = self._shapers.get(profile_name)
@@ -118,7 +154,13 @@ class AnyLinkProxy(Element):
         except ValueError:
             self.emit(packet)
             return
-        count = self._flow_packets.get(key, 0) + 1
+        count = self._flow_packets.pop(key, 0) + 1
+        if count == 1:
+            while len(self._flow_packets) >= self.max_flows:
+                oldest = next(iter(self._flow_packets))
+                del self._flow_packets[oldest]
+                self._flow_profiles.pop(oldest, None)
+                self.flows_evicted += 1
         self._flow_packets[key] = count
         profile_name = self._flow_profiles.get(key)
         if profile_name is None and count <= self.sniff_packets:

@@ -45,6 +45,8 @@ class BoostDaemon:
         throttle_plan: ThrottlePlan | None = None,
         capacity_estimator: CapacityEstimator | None = None,
         sniff_packets: int = 3,
+        telemetry=None,
+        telemetry_prefix: str = "boost",
     ) -> None:
         self.loop = loop
         self.store = store
@@ -65,6 +67,27 @@ class BoostDaemon:
         self._expiry_event: ScheduledEvent | None = None
         self.boost_events = 0
         self.superseded_events = 0
+        if telemetry is not None:
+            self.register_telemetry(telemetry, prefix=telemetry_prefix)
+
+    def register_telemetry(self, registry, prefix: str = "boost") -> None:
+        """Export daemon state (boost events, throttle status) plus the
+        embedded switch's and matcher's counters into a
+        :class:`~repro.telemetry.MetricsRegistry`."""
+        from ...telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            return TelemetrySnapshot(
+                counters={
+                    f"{prefix}.boost_events": self.boost_events,
+                    f"{prefix}.superseded_events": self.superseded_events,
+                },
+                gauges={f"{prefix}.boost_active": int(self.boost_active)},
+            )
+
+        registry.register_collector(prefix, collect)
+        self.switch.register_telemetry(registry, prefix=f"{prefix}.switch")
+        self.matcher.register_telemetry(registry, prefix=f"{prefix}.matcher")
 
     def attach(self, home: HomeNetwork) -> None:
         """Bind to the home network whose throttle this daemon drives."""

@@ -3,6 +3,8 @@
 from .accounting import AccountingLedger, BillingPlan, Invoice
 from .stateless import StatelessZeroRater
 from .middlebox import (
+    DEFAULT_MAX_FLOWS,
+    DEFAULT_MAX_SUBSCRIBERS,
     ZERO_RATE_SNIFF_PACKETS,
     SubscriberCounters,
     ZeroRatingMiddlebox,
@@ -13,6 +15,8 @@ __all__ = [
     "AccountingLedger",
     "BillingPlan",
     "Invoice",
+    "DEFAULT_MAX_FLOWS",
+    "DEFAULT_MAX_SUBSCRIBERS",
     "ZERO_RATE_SNIFF_PACKETS",
     "SubscriberCounters",
     "ZeroRatingMiddlebox",

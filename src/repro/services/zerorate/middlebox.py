@@ -10,12 +10,20 @@ task mix that determines Fig. 4's throughput curve.
 This is the performance-critical path of the repository, so unlike
 :class:`repro.core.switch.CookieSwitch` it keeps its own minimal flow
 dictionary instead of the full :class:`FlowTable`.
+
+State is **bounded**: both the flow dictionary and the subscriber-counter
+map are LRU-ordered (Python dicts preserve insertion order; entries are
+re-inserted on touch, so iteration order *is* recency order) with an
+idle timeout and a max-entries cap.  Under sustained flow churn the
+middlebox holds at most ``max_flows`` flow entries and
+``max_subscribers`` counter pairs, whatever the offered load — the
+property the paper's line-rate argument rests on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ...core.matcher import CookieMatcher
 from ...core.transport import TransportRegistry, default_registry
@@ -23,10 +31,15 @@ from ...netsim.flow import FiveTuple
 from ...netsim.middlebox import Element
 from ...netsim.packet import Packet
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ...telemetry import MetricsRegistry
+
 __all__ = [
     "SubscriberCounters",
     "ZeroRatingMiddlebox",
     "ZERO_RATE_SNIFF_PACKETS",
+    "DEFAULT_MAX_FLOWS",
+    "DEFAULT_MAX_SUBSCRIBERS",
     "flow_key_to_fivetuple",
 ]
 
@@ -43,6 +56,18 @@ def flow_key_to_fivetuple(key: tuple) -> FiveTuple:
     return FiveTuple(a_ip, a_port, b_ip, b_port, proto)
 
 ZERO_RATE_SNIFF_PACKETS = 3
+
+#: Flow-state cap: at ~100 B/entry this is ~10 MB of worst-case state.
+DEFAULT_MAX_FLOWS = 100_000
+
+#: Counter cap: two ints per subscriber IP; a million fits in ~100 MB and
+#: matches the ROADMAP's "millions of users" target.  Evicted counters go
+#: through :attr:`ZeroRatingMiddlebox.on_subscriber_evicted` so billing
+#: can flush them instead of losing revenue data.
+DEFAULT_MAX_SUBSCRIBERS = 1_000_000
+
+#: Flows idle longer than this are dropped (same default as FlowTable).
+DEFAULT_FLOW_IDLE_TIMEOUT = 60.0
 
 
 @dataclass
@@ -62,7 +87,7 @@ class SubscriberCounters:
         return self.free_bytes / total if total else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _FlowState:
     """Per-flow fast-path state: the decision plus the sniff countdown."""
 
@@ -70,6 +95,8 @@ class _FlowState:
     packets_seen: int = 0
     subscriber_ip: str = ""
     service: object = None
+    resolved: bool = False
+    last_seen: float = 0.0
 
 
 class ZeroRatingMiddlebox(Element):
@@ -78,6 +105,13 @@ class ZeroRatingMiddlebox(Element):
     ``is_subscriber`` decides which side of a packet is the subscriber
     (default: any RFC1918-ish "10." / "192.168." address).  Both directions
     of a flow share one state entry keyed on the canonical 5-tuple.
+
+    ``max_flows`` / ``flow_idle_timeout`` bound flow state;
+    ``max_subscribers`` bounds the counter map, with
+    ``on_subscriber_evicted(ip, counters)`` invoked before a counter pair
+    is dropped so accounting can flush it.  ``telemetry`` (a
+    :class:`~repro.telemetry.MetricsRegistry`) registers a collector
+    exporting every counter below under the given prefix.
     """
 
     def __init__(
@@ -88,9 +122,23 @@ class ZeroRatingMiddlebox(Element):
         is_subscriber: Callable[[str], bool] | None = None,
         sniff_packets: int = ZERO_RATE_SNIFF_PACKETS,
         on_flow_resolved: Callable[[tuple, "_FlowState"], None] | None = None,
+        max_flows: int = DEFAULT_MAX_FLOWS,
+        flow_idle_timeout: float = DEFAULT_FLOW_IDLE_TIMEOUT,
+        max_subscribers: int = DEFAULT_MAX_SUBSCRIBERS,
+        on_subscriber_evicted: (
+            Callable[[str, SubscriberCounters], None] | None
+        ) = None,
+        telemetry: "MetricsRegistry | None" = None,
+        telemetry_prefix: str = "middlebox",
         name: str = "zero-rating",
     ) -> None:
         super().__init__(name)
+        if max_flows < 1:
+            raise ValueError("max_flows must be at least 1")
+        if max_subscribers < 1:
+            raise ValueError("max_subscribers must be at least 1")
+        if flow_idle_timeout <= 0:
+            raise ValueError("flow_idle_timeout must be positive")
         self.matcher = matcher
         self.clock = clock
         self.registry = registry or default_registry()
@@ -102,11 +150,23 @@ class ZeroRatingMiddlebox(Element):
         #: matched, or the sniff window closed without one).  The §4.6
         #: hardware co-design hooks here to offload the rest of the flow.
         self.on_flow_resolved = on_flow_resolved
+        self.max_flows = max_flows
+        self.flow_idle_timeout = flow_idle_timeout
+        self.max_subscribers = max_subscribers
+        self.on_subscriber_evicted = on_subscriber_evicted
+        # Both dicts are LRU-ordered: touched entries are re-inserted at
+        # the end, so the first key is always the least recently active.
         self.counters: dict[str, SubscriberCounters] = {}
         self._flows: dict[tuple, _FlowState] = {}
         self.packets_processed = 0
         self.cookie_hits = 0
         self.cookie_misses = 0
+        self.flows_resolved = 0
+        self.flows_evicted_idle = 0
+        self.flows_evicted_cap = 0
+        self.subscribers_evicted = 0
+        if telemetry is not None:
+            self.register_telemetry(telemetry, prefix=telemetry_prefix)
 
     # ------------------------------------------------------------------
     # Fast path
@@ -118,22 +178,34 @@ class ZeroRatingMiddlebox(Element):
         if ip is None or l4 is None:
             self.emit(packet)
             return
+        now = self.clock()
         # Canonical bidirectional key without FlowTable overhead.
         a = (ip.src, l4.src_port)
         b = (ip.dst, l4.dst_port)
         key = (a, b, ip.proto) if a <= b else (b, a, ip.proto)
-        state = self._flows.get(key)
+        # pop + reinsert moves the entry to the recent end of the dict.
+        flows = self._flows
+        state = flows.pop(key, None)
         if state is None:
+            self._evict_for_space(now)
             state = _FlowState(
                 subscriber_ip=self._subscriber_of(ip.src, ip.dst)
             )
-            self._flows[key] = state
+        elif now - state.last_seen > self.flow_idle_timeout:
+            # The real box would have aged this entry out already; what it
+            # sees now is a brand-new flow.
+            self.flows_evicted_idle += 1
+            state = _FlowState(
+                subscriber_ip=self._subscriber_of(ip.src, ip.dst)
+            )
+        state.last_seen = now
+        flows[key] = state
         state.packets_seen += 1
 
-        if not state.zero_rated and state.packets_seen <= self.sniff_packets:
+        if not state.resolved and state.packets_seen <= self.sniff_packets:
             found = self.registry.extract(packet)
             if found is not None:
-                descriptor = self.matcher.match(found[0], self.clock())
+                descriptor = self.matcher.match(found[0], now)
                 if descriptor is not None:
                     state.zero_rated = True
                     state.service = descriptor.service_data
@@ -141,8 +213,11 @@ class ZeroRatingMiddlebox(Element):
                     self._resolve(key, state)
                 else:
                     self.cookie_misses += 1
-            elif state.packets_seen == self.sniff_packets:
-                # Sniff window closed with no cookie: charged for good.
+            if not state.resolved and state.packets_seen >= self.sniff_packets:
+                # Sniff window closed without a valid cookie — whether the
+                # last packet was bare or carried a cookie that failed to
+                # verify, the flow is charged for good and the §4.6
+                # offload hook must still fire.
                 self._resolve(key, state)
 
         self._account(state, packet)
@@ -151,8 +226,29 @@ class ZeroRatingMiddlebox(Element):
         self.emit(packet)
 
     def _resolve(self, key: tuple, state: _FlowState) -> None:
+        state.resolved = True
+        self.flows_resolved += 1
         if self.on_flow_resolved is not None:
             self.on_flow_resolved(key, state)
+
+    def _evict_for_space(self, now: float) -> None:
+        """Make room before inserting a new flow entry.
+
+        Drains idle entries from the LRU end first; if the table is still
+        at the cap, the least recently active flow is dropped outright.
+        Amortized O(1): each entry is evicted at most once.
+        """
+        flows = self._flows
+        while flows:
+            oldest_key = next(iter(flows))
+            if now - flows[oldest_key].last_seen > self.flow_idle_timeout:
+                del flows[oldest_key]
+                self.flows_evicted_idle += 1
+            else:
+                break
+        while len(flows) >= self.max_flows:
+            del flows[next(iter(flows))]
+            self.flows_evicted_cap += 1
 
     def _subscriber_of(self, src: str, dst: str) -> str:
         if self.is_subscriber(src):
@@ -164,7 +260,19 @@ class ZeroRatingMiddlebox(Element):
     def _account(self, state: _FlowState, packet: Packet) -> None:
         counters = self.counters.get(state.subscriber_ip)
         if counters is None:
+            while len(self.counters) >= self.max_subscribers:
+                evicted_ip = next(iter(self.counters))
+                evicted = self.counters.pop(evicted_ip)
+                self.subscribers_evicted += 1
+                if self.on_subscriber_evicted is not None:
+                    self.on_subscriber_evicted(evicted_ip, evicted)
             counters = SubscriberCounters()
+            self.counters[state.subscriber_ip] = counters
+        elif state.packets_seen == 1:
+            # Subscriber recency is tracked at *flow* granularity: a new
+            # flow moves its subscriber to the recent end of the LRU, but
+            # data packets of existing flows skip the extra dict work.
+            del self.counters[state.subscriber_ip]
             self.counters[state.subscriber_ip] = counters
         if state.zero_rated:
             counters.free_bytes += packet.wire_length
@@ -179,7 +287,9 @@ class ZeroRatingMiddlebox(Element):
         return self.counters.get(subscriber_ip, SubscriberCounters())
 
     def expire_flows(self, keep_last: int = 0) -> int:
-        """Drop flow state (a real box ages it; benchmarks reset it).
+        """Drop flow state, keeping the ``keep_last`` most recently
+        *active* flows (the dict is LRU-ordered, so the retained suffix is
+        the recently-touched set, not the most recently created one).
 
         Returns how many entries were dropped.
         """
@@ -190,8 +300,67 @@ class ZeroRatingMiddlebox(Element):
         keys = list(self._flows)
         for key in keys[:-keep_last]:
             del self._flows[key]
-        return len(keys) - keep_last
+        return max(0, len(keys) - keep_last)
+
+    def expire_idle_flows(self, now: float | None = None) -> int:
+        """Eagerly drop every flow idle past the timeout; returns count.
+
+        The data path already evicts lazily; this is the operator's
+        sweep (e.g. a periodic timer) for tables that sit below the cap.
+        """
+        if now is None:
+            now = self.clock()
+        stale = [
+            key
+            for key, state in self._flows.items()
+            if now - state.last_seen > self.flow_idle_timeout
+        ]
+        for key in stale:
+            del self._flows[key]
+        self.flows_evicted_idle += len(stale)
+        return len(stale)
 
     @property
     def tracked_flows(self) -> int:
         return len(self._flows)
+
+    @property
+    def tracked_subscribers(self) -> int:
+        return len(self.counters)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def register_telemetry(
+        self, registry: "MetricsRegistry", prefix: str = "middlebox"
+    ) -> None:
+        """Export this middlebox's counters into a metrics registry.
+
+        Registered as a collector named ``prefix`` (re-registration under
+        the same prefix replaces, so it is idempotent); hot-path counters
+        stay plain ints and are only read at snapshot time.
+        """
+        from ...telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            free = sum(c.free_bytes for c in self.counters.values())
+            charged = sum(c.charged_bytes for c in self.counters.values())
+            return TelemetrySnapshot(
+                counters={
+                    f"{prefix}.packets_processed": self.packets_processed,
+                    f"{prefix}.cookie_hits": self.cookie_hits,
+                    f"{prefix}.cookie_misses": self.cookie_misses,
+                    f"{prefix}.flows_resolved": self.flows_resolved,
+                    f"{prefix}.flows_evicted_idle": self.flows_evicted_idle,
+                    f"{prefix}.flows_evicted_cap": self.flows_evicted_cap,
+                    f"{prefix}.subscribers_evicted": self.subscribers_evicted,
+                    f"{prefix}.free_bytes": free,
+                    f"{prefix}.charged_bytes": charged,
+                },
+                gauges={
+                    f"{prefix}.tracked_flows": len(self._flows),
+                    f"{prefix}.tracked_subscribers": len(self.counters),
+                },
+            )
+
+        registry.register_collector(prefix, collect)

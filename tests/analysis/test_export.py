@@ -95,3 +95,47 @@ class TestJsonBundle:
         result = BoostStudy(seed=1).run()
         bundle = figure_bundle_to_json({"fig1": {"counts": result.site_counts}})
         assert json.loads(bundle)["fig1"]["counts"]
+
+
+class TestTelemetryExport:
+    def _snapshot(self):
+        from repro.telemetry import Histogram, TelemetrySnapshot
+
+        histogram = Histogram("flow_packets", buckets=(1, 4, 16))
+        for value in (1, 3, 20):
+            histogram.observe(value)
+        return TelemetrySnapshot(
+            counters={"middlebox.cookie_hits": 5},
+            gauges={"middlebox.tracked_flows": 2},
+            histograms={"flow_packets": histogram.snapshot()},
+        )
+
+    def test_telemetry_to_csv_rows(self):
+        from repro.analysis.export import telemetry_to_csv
+
+        csv_text = telemetry_to_csv(self._snapshot())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "kind,name,value"
+        assert "counter,middlebox.cookie_hits,5" in lines
+        assert "gauge,middlebox.tracked_flows,2" in lines
+        assert any(line.startswith("histogram,flow_packets.p50") for line in lines)
+
+    def test_empty_snapshot_rejected(self):
+        import pytest
+
+        from repro.analysis.export import telemetry_to_csv
+        from repro.telemetry import TelemetrySnapshot
+
+        with pytest.raises(ValueError):
+            telemetry_to_csv(TelemetrySnapshot())
+
+    def test_bundle_encodes_snapshot(self):
+        import json
+
+        from repro.analysis.export import figure_bundle_to_json
+
+        bundle = json.loads(
+            figure_bundle_to_json({"telemetry": self._snapshot()})
+        )
+        assert bundle["telemetry"]["counters"]["middlebox.cookie_hits"] == 5
+        assert bundle["telemetry"]["histograms"]["flow_packets"]["count"] == 3

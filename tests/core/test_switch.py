@@ -241,3 +241,113 @@ class TestBindingLifetime:
         clock.now = 100.0
         switch.push(_cookied_packet(descriptor, clock))  # fresh cookie
         assert sink.packets[1].meta.get("qos_class") == FAST_LANE_CLASS
+
+
+class TestAckWithoutReverseService:
+    def test_ack_attached_even_when_reverse_not_serviced(self):
+        """A forward-only descriptor with a delivery guarantee must still
+        ack on reverse traffic: the guarantee is about the forward service
+        having been applied, not about servicing the reverse path."""
+        clock, descriptor, switch, sink = _setup(
+            attributes=CookieAttributes(
+                delivery_guarantee=True, apply_reverse=False
+            )
+        )
+        switch.push(_cookied_packet(descriptor, clock))
+        reverse = _flow_packet(reverse=True, content=TLSClientHello(sni=""))
+        switch.push(reverse)
+        assert default_registry().extract(reverse) is not None
+        assert switch.stats.acks_attached == 1
+        # The reverse packet itself is still best-effort.
+        assert "qos_class" not in reverse.meta
+
+    def test_ack_still_only_once_without_reverse_service(self):
+        clock, descriptor, switch, _sink = _setup(
+            attributes=CookieAttributes(
+                delivery_guarantee=True, apply_reverse=False
+            )
+        )
+        switch.push(_cookied_packet(descriptor, clock))
+        switch.push(_flow_packet(reverse=True, content=TLSClientHello(sni="")))
+        second = _flow_packet(reverse=True, content=TLSClientHello(sni=""))
+        switch.push(second)
+        assert switch.stats.acks_attached == 1
+        assert default_registry().extract(second) is None
+
+
+class TestRevocationRebinding:
+    def test_rebind_with_new_cookie_inside_sniff_window(self):
+        """After a mid-flow revocation drops the binding, a packet still
+        inside the sniff window carrying a cookie from a *different*
+        (valid) descriptor re-binds the flow to the new service."""
+        clock = Clock()
+        store = DescriptorStore()
+        first = store.add(CookieDescriptor.create(service_data="Boost"))
+        second = store.add(CookieDescriptor.create(service_data="Turbo"))
+        switch = CookieSwitch(CookieMatcher(store), clock=clock)
+        sink = Sink()
+        switch >> sink
+        switch.push(_cookied_packet(first, clock))
+        first.revoke()
+        switch.push(_flow_packet())  # packet 2: binding dropped, no service
+        assert "service" not in sink.packets[1].meta
+        rebind = _flow_packet(content=TLSClientHello(sni="x.com"))
+        default_registry().attach(
+            rebind, CookieGenerator(second, clock).generate()
+        )
+        switch.push(rebind)  # packet 3: still within the sniff window
+        assert sink.packets[2].meta.get("service") == "Turbo"
+        assert switch.stats.flows_bound == 2
+
+    def test_no_rebind_after_sniff_window(self):
+        """Revocation after the sniff window leaves the flow best-effort
+        for good — late cookies are ignored, per the sniff rule."""
+        clock = Clock()
+        store = DescriptorStore()
+        first = store.add(CookieDescriptor.create(service_data="Boost"))
+        second = store.add(CookieDescriptor.create(service_data="Turbo"))
+        switch = CookieSwitch(CookieMatcher(store), clock=clock)
+        sink = Sink()
+        switch >> sink
+        switch.push(_cookied_packet(first, clock))
+        for _ in range(3):  # burn through the sniff window while bound
+            switch.push(_flow_packet())
+        first.revoke()
+        switch.push(_flow_packet())  # binding dropped here
+        late = _flow_packet(content=TLSClientHello(sni="x.com"))
+        default_registry().attach(
+            late, CookieGenerator(second, clock).generate()
+        )
+        switch.push(late)
+        assert "service" not in sink.packets[-1].meta
+        assert switch.stats.flows_bound == 1
+
+    def test_rebinding_flow_acks_again_on_new_guarantee(self):
+        """A re-bound delivery-guaranteed descriptor gets its own ack."""
+        clock = Clock()
+        store = DescriptorStore()
+        attrs = CookieAttributes(delivery_guarantee=True)
+        first = store.add(
+            CookieDescriptor.create(service_data="A", attributes=attrs)
+        )
+        second = store.add(
+            CookieDescriptor.create(
+                service_data="B",
+                attributes=CookieAttributes(delivery_guarantee=True),
+            )
+        )
+        switch = CookieSwitch(CookieMatcher(store), clock=clock)
+        switch >> Sink()
+        switch.push(_cookied_packet(first, clock))
+        first.revoke()
+        switch.push(_flow_packet())  # packet 2: old binding dropped
+        rebind = _flow_packet(content=TLSClientHello(sni="x.com"))
+        default_registry().attach(
+            rebind, CookieGenerator(second, clock).generate()
+        )
+        switch.push(rebind)  # packet 3: re-binds, arms a fresh ack
+        reverse = _flow_packet(reverse=True, content=TLSClientHello(sni=""))
+        switch.push(reverse)
+        assert switch.stats.acks_attached == 1
+        ack_cookie, _carrier = default_registry().extract(reverse)
+        assert ack_cookie.cookie_id == second.cookie_id

@@ -185,3 +185,171 @@ class TestAccounting:
         ledger = AccountingLedger(plan)
         invoice = ledger.invoice("x", self._counters(charged=5 * 10**8))
         assert invoice.cap_used_fraction == pytest.approx(0.5)
+
+
+class TestFlowResolution:
+    """The §4.6 offload hook must fire exactly once for *every* flow."""
+
+    def _mb(self, sniff_packets=3, **kwargs):
+        clock = Clock()
+        store = DescriptorStore()
+        descriptor = store.add(CookieDescriptor.create(service_data="zr"))
+        resolved = []
+        middlebox = ZeroRatingMiddlebox(
+            CookieMatcher(store),
+            clock=clock,
+            sniff_packets=sniff_packets,
+            on_flow_resolved=lambda key, state: resolved.append(
+                (key, state.zero_rated)
+            ),
+            **kwargs,
+        )
+        return clock, descriptor, middlebox, resolved
+
+    def test_valid_cookie_resolves_immediately(self):
+        clock, descriptor, middlebox, resolved = self._mb()
+        middlebox.handle(_flow_packets(descriptor, clock, count=1)[0])
+        assert resolved == [(next(iter(middlebox._flows)), True)]
+
+    def test_bare_flow_resolves_at_window_close(self):
+        clock, descriptor, middlebox, resolved = self._mb()
+        for packet in _flow_packets(descriptor, clock, count=3, cookied=False):
+            middlebox.handle(packet)
+        assert len(resolved) == 1
+        assert resolved[0][1] is False
+
+    def test_invalid_cookie_on_final_sniff_packet_still_resolves(self):
+        """Regression: a flow whose last sniff-window packet carries a
+        cookie that fails verification used to slip past the resolution
+        hook entirely — hardware offload then never saw the flow."""
+        clock, _descriptor, middlebox, resolved = self._mb()
+        stranger = CookieDescriptor.create()
+        # Packets 1-2: bare (same flow, reverse direction shares the key).
+        for packet in _flow_packets(stranger, clock, cookied=False, count=3)[1:]:
+            middlebox.handle(packet)
+        assert resolved == []
+        # Packet 3 — the last of the sniff window — carries a cookie that
+        # fails verification (unknown descriptor).
+        middlebox.handle(_flow_packets(stranger, clock, count=1)[0])
+        assert len(resolved) == 1
+        assert resolved[0][1] is False
+        assert middlebox.cookie_misses == 1
+
+    def test_invalid_cookie_single_packet_window(self):
+        clock, _descriptor, middlebox, resolved = self._mb(sniff_packets=1)
+        stranger = CookieDescriptor.create()
+        middlebox.handle(_flow_packets(stranger, clock, count=1)[0])
+        assert len(resolved) == 1 and resolved[0][1] is False
+
+    def test_miss_then_valid_cookie_still_binds(self):
+        """A failed cookie early in the window must not charge the flow
+        for good — a later valid cookie within the window zero-rates."""
+        clock, descriptor, middlebox, resolved = self._mb()
+        stranger = CookieDescriptor.create()
+        bad = _flow_packets(stranger, clock, count=1)[0]
+        middlebox.handle(bad)
+        good = _flow_packets(descriptor, clock, count=1)[0]
+        middlebox.handle(good)
+        assert resolved[-1][1] is True
+        assert good.meta.get("zero_rated")
+
+    def test_resolution_fires_once_per_flow(self):
+        clock, descriptor, middlebox, resolved = self._mb()
+        for packet in _flow_packets(descriptor, clock, count=10):
+            middlebox.handle(packet)
+        assert len(resolved) == 1
+        assert middlebox.flows_resolved == 1
+
+
+class TestBoundedState:
+    def _mb(self, **kwargs):
+        clock = Clock()
+        store = DescriptorStore()
+        descriptor = store.add(CookieDescriptor.create(service_data="zr"))
+        middlebox = ZeroRatingMiddlebox(
+            CookieMatcher(store), clock=clock, **kwargs
+        )
+        return clock, descriptor, middlebox
+
+    def _packet(self, sport, subscriber="10.0.0.1"):
+        return make_tcp_packet(
+            subscriber, sport, "93.184.216.34", 443, payload_size=100
+        )
+
+    def test_expire_flows_keeps_most_recently_active(self):
+        """Regression: retention used to follow creation order, evicting
+        the busiest long-lived flows and keeping newborn ones."""
+        clock, _descriptor, middlebox = self._mb()
+        middlebox.handle(self._packet(5000))  # flow A (older)
+        middlebox.handle(self._packet(5001))  # flow B
+        middlebox.handle(self._packet(5000))  # A is the active one
+        assert middlebox.expire_flows(keep_last=1) == 1
+        (key,) = middlebox._flows
+        assert 5000 in key[0] or 5000 in key[1]
+
+    def test_cap_evicts_least_recently_active(self):
+        clock, _descriptor, middlebox = self._mb(max_flows=2)
+        middlebox.handle(self._packet(5000))
+        middlebox.handle(self._packet(5001))
+        middlebox.handle(self._packet(5000))  # touch A: B is now oldest
+        middlebox.handle(self._packet(5002))  # evicts B
+        assert middlebox.tracked_flows == 2
+        assert middlebox.flows_evicted_cap == 1
+        ports = {key[0][1] for key in middlebox._flows} | {
+            key[1][1] for key in middlebox._flows
+        }
+        assert 5001 not in ports
+
+    def test_idle_flows_evicted_lazily(self):
+        clock, _descriptor, middlebox = self._mb(flow_idle_timeout=10.0)
+        middlebox.handle(self._packet(5000))
+        clock.now = 100.0
+        middlebox.handle(self._packet(5001))  # inserting sweeps idle LRU end
+        assert middlebox.flows_evicted_idle == 1
+        assert middlebox.tracked_flows == 1
+
+    def test_idle_flow_reseen_is_a_new_flow(self):
+        """A flow returning after the idle timeout re-enters the sniff
+        window (the state a real box aged out is genuinely gone)."""
+        clock, descriptor, middlebox = self._mb(flow_idle_timeout=10.0)
+        for packet in _flow_packets(descriptor, clock, count=5, cookied=False):
+            middlebox.handle(packet)
+        clock.now = 1000.0
+        late = _flow_packets(descriptor, clock, count=1)[0]
+        middlebox.handle(late)  # valid cookie accepted: new sniff window
+        assert late.meta.get("zero_rated")
+
+    def test_expire_idle_flows_sweep(self):
+        clock, _descriptor, middlebox = self._mb(flow_idle_timeout=10.0)
+        middlebox.handle(self._packet(5000))
+        middlebox.handle(self._packet(5001))
+        clock.now = 50.0
+        assert middlebox.expire_idle_flows() == 2
+        assert middlebox.tracked_flows == 0
+        assert middlebox.flows_evicted_idle == 2
+
+    def test_subscriber_counters_capped_with_flush_callback(self):
+        flushed = []
+        clock = Clock()
+        store = DescriptorStore()
+        middlebox = ZeroRatingMiddlebox(
+            CookieMatcher(store),
+            clock=clock,
+            max_subscribers=2,
+            on_subscriber_evicted=lambda ip, c: flushed.append((ip, c)),
+        )
+        for i, subscriber in enumerate(["10.0.0.1", "10.0.0.2", "10.0.0.3"]):
+            middlebox.handle(self._packet(6000 + i, subscriber=subscriber))
+        assert middlebox.tracked_subscribers == 2
+        assert middlebox.subscribers_evicted == 1
+        assert flushed[0][0] == "10.0.0.1"
+        assert flushed[0][1].charged_bytes > 0
+
+    def test_active_subscriber_not_evicted(self):
+        clock, _descriptor, middlebox = self._mb(max_subscribers=2)
+        middlebox.handle(self._packet(6000, subscriber="10.0.0.1"))
+        middlebox.handle(self._packet(6001, subscriber="10.0.0.2"))
+        middlebox.handle(self._packet(6002, subscriber="10.0.0.1"))  # touch
+        middlebox.handle(self._packet(6003, subscriber="10.0.0.3"))
+        assert "10.0.0.1" in middlebox.counters
+        assert "10.0.0.2" not in middlebox.counters
