@@ -39,6 +39,23 @@ def _grants(pool, cookies) -> int:
     return grants
 
 
+def _presentations(cookies):
+    """The same workload _grants drives, flattened into one sequence."""
+    out = []
+    for cookie in cookies:
+        out.extend([cookie] * (1 + REPLAYS_PER_COOKIE))
+    return out
+
+
+def _grants_batched(pool, cookies, batch_size: int = 256) -> int:
+    stream = _presentations(cookies)
+    grants = 0
+    for start in range(0, len(stream), batch_size):
+        verdicts = pool.match_batch(stream[start : start + batch_size], now=0.0)
+        grants += sum(1 for verdict in verdicts if verdict is not None)
+    return grants
+
+
 def test_ablation_scaleout_double_spend(benchmark, report):
     store, cookies = _workload()
     sharded = ShardedVerifierPool(store, shards=SHARDS)
@@ -65,6 +82,45 @@ def test_ablation_scaleout_double_spend(benchmark, report):
     # Round-robin over 4 shards with 4 presentations: every presentation
     # hits a fresh cache, so each cookie is granted SHARDS times.
     assert naive_grants == COOKIES * SHARDS
+
+
+def test_ablation_scaleout_scalar_vs_batched(benchmark, report):
+    """Batched dispatch must beat per-cookie dispatch while granting the
+    exact same set: memoized rendezvous hashing plus per-shard
+    ``match_batch`` amortizes the per-cookie blake2b and HMAC keying."""
+    import time
+
+    store, cookies = _workload()
+
+    def best_of(fn, rounds=3):
+        best = float("inf")
+        grants = None
+        for _ in range(rounds):
+            pool = ShardedVerifierPool(store, shards=SHARDS)
+            start = time.perf_counter()
+            grants = fn(pool, cookies)
+            best = min(best, time.perf_counter() - start)
+        return grants, best
+
+    scalar_grants, scalar_s = best_of(_grants)
+    batched_grants, batched_s = benchmark.pedantic(
+        lambda: best_of(_grants_batched), rounds=1, iterations=1
+    )
+    presentations = COOKIES * (1 + REPLAYS_PER_COOKIE)
+    scalar_cps = presentations / scalar_s
+    batched_cps = presentations / batched_s
+    speedup = batched_cps / scalar_cps
+
+    report(f"{presentations:,} cookie presentations over {SHARDS} shards")
+    report(f"  scalar match():       {scalar_cps:,.0f} cookies/s")
+    report(f"  batched match_batch(): {batched_cps:,.0f} cookies/s")
+    report(f"  speedup: {speedup:.2f}x")
+    benchmark.extra_info["scalar_cookies_per_s"] = round(scalar_cps)
+    benchmark.extra_info["batched_cookies_per_s"] = round(batched_cps)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+    assert scalar_grants == batched_grants == COOKIES
+    assert speedup >= 2.0, (scalar_cps, batched_cps)
 
 
 def test_ablation_scaleout_load_balance(benchmark, report):

@@ -21,6 +21,7 @@ from .cookie import (
     UUID_BYTES,
     Cookie,
     sign_cookie_fields,
+    SignerCache,
 )
 from .delegation import DelegatedParty, delegate_descriptor, make_ack_cookie
 from .descriptor import COOKIE_ID_BITS, CookieDescriptor
@@ -47,7 +48,13 @@ from .errors import (
     UnknownDescriptor,
 )
 from .generator import CookieGenerator
-from .matcher import NETWORK_COHERENCY_TIME, CookieMatcher, MatchStats, ReplayCache
+from .matcher import (
+    NETWORK_COHERENCY_TIME,
+    CookieMatcher,
+    MatchStats,
+    ReplayCache,
+    ShardedReplayCache,
+)
 from .netserver import AsyncCookieServer, CookieClient, request_over_tcp
 from .offload import HardwarePrefilter, PrefilterStats
 from .policy import (
@@ -83,6 +90,7 @@ __all__ = [
     "UUID_BYTES",
     "Cookie",
     "sign_cookie_fields",
+    "SignerCache",
     "DelegatedParty",
     "delegate_descriptor",
     "make_ack_cookie",
@@ -113,6 +121,7 @@ __all__ = [
     "CookieMatcher",
     "MatchStats",
     "ReplayCache",
+    "ShardedReplayCache",
     "AsyncCookieServer",
     "CookieClient",
     "request_over_tcp",

@@ -30,6 +30,7 @@ from .errors import MalformedCookie
 __all__ = [
     "Cookie",
     "sign_cookie_fields",
+    "SignerCache",
     "COOKIE_WIRE_BYTES",
     "SIGNATURE_BYTES",
     "UUID_BYTES",
@@ -54,6 +55,51 @@ def sign_cookie_fields(key: bytes, cookie_id: int, uuid: bytes, timestamp: float
         "!Q", round(timestamp * _TIMESTAMP_SCALE)
     )
     return hmac.new(key, message, hashlib.sha256).digest()[:SIGNATURE_BYTES]
+
+
+class SignerCache:
+    """Per-key HMAC context reuse for batched verification.
+
+    ``hmac.new(key, ...)`` pads and hashes the key on every call — two
+    SHA-256 block transforms a verifier repeats for every cookie of the
+    same descriptor.  The cache keys one pre-initialised context per
+    descriptor key and serves each signature from ``ctx.copy()``, which
+    clones the already-absorbed key state.  Digests are bit-identical to
+    :func:`sign_cookie_fields` (HMAC is key-absorption then message
+    absorption, and ``copy`` snapshots the former).
+
+    State is bounded: at most ``max_keys`` contexts are kept, evicted in
+    FIFO order — one context per descriptor, so the cap is really a cap
+    on hot descriptors per verifier.
+    """
+
+    def __init__(self, max_keys: int = 4096) -> None:
+        if max_keys < 1:
+            raise ValueError("max_keys must be at least 1")
+        self.max_keys = max_keys
+        self._contexts: dict[bytes, "hmac.HMAC"] = {}
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def sign(
+        self, key: bytes, cookie_id: int, uuid: bytes, timestamp: float
+    ) -> bytes:
+        """Equivalent of :func:`sign_cookie_fields` via a cached context."""
+        contexts = self._contexts
+        base = contexts.get(key)
+        if base is None:
+            base = hmac.new(key, digestmod=hashlib.sha256)
+            while len(contexts) >= self.max_keys:
+                del contexts[next(iter(contexts))]
+            contexts[key] = base
+        mac = base.copy()
+        mac.update(
+            struct.pack("!Q", cookie_id)
+            + uuid
+            + struct.pack("!Q", round(timestamp * _TIMESTAMP_SCALE))
+        )
+        return mac.digest()[:SIGNATURE_BYTES]
 
 
 @dataclass(frozen=True)

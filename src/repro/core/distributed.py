@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Sequence
 
 from .cookie import Cookie
 from .descriptor import CookieDescriptor
@@ -78,6 +79,16 @@ class _VerifierPoolBase:
             self.stats.accepted += 1
         return descriptor
 
+    def match_batch(
+        self, cookies: Sequence[Cookie], now: float
+    ) -> list[CookieDescriptor | None]:
+        """Batched verification; the default dispatches one at a time.
+
+        Subclasses with a stable dispatch function override this to
+        group cookies per shard and use each shard's batched matcher.
+        """
+        return [self.match(cookie, now) for cookie in cookies]
+
 
 class ShardedVerifierPool(_VerifierPoolBase):
     """Descriptor-affine dispatch: uniqueness stays locally verifiable.
@@ -88,6 +99,17 @@ class ShardedVerifierPool(_VerifierPoolBase):
     assignments stable when a shard is added or removed — relevant for an
     NFV pool that scales with load.
     """
+
+    def __init__(
+        self,
+        store: DescriptorStore,
+        shards: int,
+        nct: float = NETWORK_COHERENCY_TIME,
+    ) -> None:
+        super().__init__(store, shards, nct=nct)
+        # cookie_id -> shard index; valid for the pool's fixed shard
+        # count (one entry per descriptor, bounded by the store).
+        self._shard_memo: dict[int, int] = {}
 
     def shard_for(self, cookie: Cookie) -> int:
         best_shard = 0
@@ -102,6 +124,47 @@ class ShardedVerifierPool(_VerifierPoolBase):
                 best_weight = weight
                 best_shard = index
         return best_shard
+
+    def match_batch(
+        self, cookies: Sequence[Cookie], now: float
+    ) -> list[CookieDescriptor | None]:
+        """Batched dispatch: group per shard, verify per-shard batches.
+
+        Rendezvous hashing costs one blake2b per shard per *descriptor*,
+        not per cookie: assignments are memoized by cookie id (they are
+        a pure function of it, so the memo never goes stale while the
+        shard count is fixed).  Cookies keep their relative order within
+        each shard's sub-batch, which is the only order replay detection
+        can depend on — all cookies of a descriptor land on one shard —
+        so grants are identical to a scalar left-to-right pass, and each
+        shard's :class:`~repro.core.matcher.CookieMatcher` amortizes its
+        own HMAC/descriptor work via ``match_batch``.
+        """
+        memo = self._shard_memo
+        per_shard: dict[int, list[int]] = {}
+        assignments: list[int] = []
+        for position, cookie in enumerate(cookies):
+            cookie_id = cookie.cookie_id
+            shard_index = memo.get(cookie_id)
+            if shard_index is None:
+                shard_index = self.shard_for(cookie)
+                memo[cookie_id] = shard_index
+            assignments.append(shard_index)
+            per_shard.setdefault(shard_index, []).append(position)
+        results: list[CookieDescriptor | None] = [None] * len(cookies)
+        accepted = 0
+        for shard_index, positions in per_shard.items():
+            shard = self.shards[shard_index]
+            verdicts = shard.match_batch(
+                [cookies[position] for position in positions], now
+            )
+            for position, verdict in zip(positions, verdicts):
+                results[position] = verdict
+                if verdict is not None:
+                    accepted += 1
+        self.stats.accepted += accepted
+        self.stats.rejected += len(cookies) - accepted
+        return results
 
     def shard_for_descriptor(self, descriptor: CookieDescriptor) -> int:
         """Where this descriptor's cookies will always land (for

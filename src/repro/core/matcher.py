@@ -16,9 +16,11 @@ because rule 4 already rejects them.
 
 from __future__ import annotations
 
+import hmac as _hmac
 from dataclasses import dataclass
+from typing import Sequence
 
-from .cookie import Cookie
+from .cookie import Cookie, SignerCache
 from .descriptor import CookieDescriptor
 from .errors import (
     CookieError,
@@ -31,7 +33,13 @@ from .errors import (
 )
 from .store import DescriptorStore
 
-__all__ = ["ReplayCache", "MatchStats", "CookieMatcher", "NETWORK_COHERENCY_TIME"]
+__all__ = [
+    "ReplayCache",
+    "ShardedReplayCache",
+    "MatchStats",
+    "CookieMatcher",
+    "NETWORK_COHERENCY_TIME",
+]
 
 NETWORK_COHERENCY_TIME = 5.0
 
@@ -102,6 +110,67 @@ class ReplayCache:
         return self._generation_start
 
 
+class ShardedReplayCache:
+    """N independent :class:`ReplayCache` shards behind one facade.
+
+    Each uuid maps deterministically to one shard, so test-and-set for a
+    given uuid always touches the same two generation sets — a cookie
+    replayed after its shard rotated is still caught by that shard's
+    previous generation, exactly as in the unsharded cache.  Sharding
+    exists to cut per-dict contention when the batched data path is split
+    across workers: a worker holding shard *i* never touches shard *j*'s
+    sets, and per-shard rotation/idle-reset bookkeeping is byte-identical
+    to running N unsharded caches side by side.
+
+    Rotation is per shard and lazily driven by the traffic that reaches
+    it (same as the unsharded cache, whose rotation is driven by calls):
+    a shard's generations advance only when one of *its* uuids is looked
+    up.  Aggregate telemetry (``size``/``rotations``/``idle_resets``)
+    sums the shards.
+    """
+
+    def __init__(
+        self, window: float = NETWORK_COHERENCY_TIME, shards: int = 4
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one replay shard")
+        self.window = window
+        self._shards = [ReplayCache(window=window) for _ in range(shards)]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_for(self, uuid: bytes) -> int:
+        """Deterministic uuid → shard mapping (stable across calls)."""
+        return int.from_bytes(uuid[-4:], "big") % len(self._shards)
+
+    def shard(self, index: int) -> ReplayCache:
+        """Direct access to one shard (tests and per-worker dispatch)."""
+        return self._shards[index]
+
+    def seen_before(self, uuid: bytes, now: float) -> bool:
+        return self._shards[self.shard_for(uuid)].seen_before(uuid, now)
+
+    def record(self, uuid: bytes, now: float) -> None:
+        self._shards[self.shard_for(uuid)].record(uuid, now)
+
+    def check_and_record(self, uuid: bytes, now: float) -> bool:
+        return self._shards[self.shard_for(uuid)].check_and_record(uuid, now)
+
+    @property
+    def size(self) -> int:
+        return sum(shard.size for shard in self._shards)
+
+    @property
+    def rotations(self) -> int:
+        return sum(shard.rotations for shard in self._shards)
+
+    @property
+    def idle_resets(self) -> int:
+        return sum(shard.idle_resets for shard in self._shards)
+
+
 @dataclass
 class MatchStats:
     """Outcome counters kept by a :class:`CookieMatcher`."""
@@ -154,7 +223,7 @@ class CookieMatcher:
         self,
         store: DescriptorStore,
         nct: float = NETWORK_COHERENCY_TIME,
-        replay_cache: ReplayCache | None = None,
+        replay_cache: ReplayCache | ShardedReplayCache | None = None,
         telemetry: "object | None" = None,
         telemetry_prefix: str = "matcher",
     ) -> None:
@@ -164,6 +233,7 @@ class CookieMatcher:
         self.nct = nct
         self.replay_cache = replay_cache or ReplayCache(window=nct)
         self.stats = MatchStats()
+        self._signers = SignerCache()
         if telemetry is not None:
             self.register_telemetry(telemetry, prefix=telemetry_prefix)
 
@@ -225,3 +295,78 @@ class CookieMatcher:
             return self.verify(cookie, now)
         except CookieError:
             return None
+
+    # ------------------------------------------------------------------
+    # Batched data path
+    # ------------------------------------------------------------------
+    def match_batch(
+        self, cookies: Sequence[Cookie], now: float
+    ) -> list[CookieDescriptor | None]:
+        """Verify a batch of cookies observed at one instant.
+
+        Result i equals what ``match(cookies[i], now)`` would have
+        returned in a sequential left-to-right pass — including replay
+        interactions *within* the batch (the first occurrence of a uuid
+        wins, later ones are replays) and identical :class:`MatchStats`
+        and replay-cache mutations.  The speedup comes from amortizing
+        per-cookie costs across the batch:
+
+        - descriptor lookup + revoked/expired checks are memoized per
+          cookie id (a batch from one flow burst repeats few ids);
+        - HMAC contexts are pre-keyed once per descriptor and served by
+          ``copy()`` via :class:`~repro.core.cookie.SignerCache`;
+        - the NCT window check and stats/attribute lookups run inside a
+          single pass with locals bound once per batch.
+        """
+        store_get = self.store.get
+        stats = self.stats
+        nct = self.nct
+        sign = self._signers.sign
+        compare = _hmac.compare_digest
+        check_and_record = self.replay_cache.check_and_record
+        # Per-batch memo: cookie_id -> (descriptor|None, failure field).
+        # Sound within a batch because `now` is fixed and descriptor
+        # revocation/expiry cannot change between two cookies of the
+        # same batch (single-threaded data path, one timestamp).
+        decided: dict[int, tuple[CookieDescriptor | None, str | None]] = {}
+        results: list[CookieDescriptor | None] = []
+        append = results.append
+        for cookie in cookies:
+            cookie_id = cookie.cookie_id
+            memo = decided.get(cookie_id)
+            if memo is None:
+                descriptor = store_get(cookie_id)
+                if descriptor is None:
+                    memo = (None, "unknown_id")
+                elif descriptor.revoked:
+                    memo = (None, "revoked")
+                elif descriptor.attributes.is_expired(now):
+                    memo = (None, "expired")
+                else:
+                    memo = (descriptor, None)
+                decided[cookie_id] = memo
+            descriptor, failure = memo
+            if descriptor is None:
+                setattr(stats, failure, getattr(stats, failure) + 1)
+                append(None)
+                continue
+            expected = sign(
+                descriptor.key, cookie_id, cookie.uuid, cookie.timestamp
+            )
+            if not compare(expected, cookie.signature):
+                stats.bad_signature += 1
+                append(None)
+                continue
+            # Same predicate as the scalar path (not a precomputed
+            # lo/hi window) so results are bit-identical for any float.
+            if abs(cookie.timestamp - now) > nct:
+                stats.stale_timestamp += 1
+                append(None)
+                continue
+            if check_and_record(cookie.uuid, now):
+                stats.replayed += 1
+                append(None)
+                continue
+            stats.accepted += 1
+            append(descriptor)
+        return results

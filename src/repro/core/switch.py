@@ -167,6 +167,36 @@ class CookieSwitch(Element):
             self._try_cookie(flow, packet, now)
         self.emit(packet)
 
+    def process_batch(self, packets: list[Packet]) -> None:
+        """Batched data path: the whole vector shares one clock reading.
+
+        State transitions (flow table, bindings, stats) are identical to
+        a scalar left-to-right pass at the same instant — including
+        intra-batch effects such as a cookie on packet *i* binding the
+        flow that packet *i+1* then rides as a bound flow.  Surviving
+        packets are forwarded downstream as one batch.
+        """
+        now = self.clock()
+        stats = self.stats
+        observe = self.flows.observe
+        sniff_packets = self.sniff_packets
+        out: list[Packet] = []
+        append = out.append
+        for packet in packets:
+            stats.packets += 1
+            try:
+                flow, _is_new = observe(packet, now)
+            except ValueError:
+                append(packet)
+                continue
+            if flow.service is not None:
+                self._serve_bound(flow, packet, now)
+            elif flow.packets <= sniff_packets:
+                stats.packets_sniffed += 1
+                self._try_cookie(flow, packet, now)
+            append(packet)
+        self.emit_batch(out)
+
     def _try_cookie(self, flow: Flow, packet: Packet, now: float) -> None:
         # A packet may carry several composed cookies (e.g. one per access
         # network); act on the first one THIS switch's store recognizes

@@ -15,7 +15,14 @@ Fig. 1 and Fig. 2 live in :mod:`repro.study` (BoostStudy /
 ZeroRatingSurvey); Table 1 lives in :mod:`repro.baselines.comparison`.
 """
 
-from .fig4_throughput import FLOW_LENGTHS, PACKET_SIZES, Fig4Point, run_point, run_sweep
+from .fig4_throughput import (
+    FLOW_LENGTHS,
+    PACKET_SIZES,
+    Fig4Point,
+    run_point,
+    run_scalar_vs_batched,
+    run_sweep,
+)
 from .fig5b_fct import SERVICE_CLASSES, FctResult, run_fig5b, run_trial
 from .fig6_accuracy import (
     DPI_APP_OF_SITE,
@@ -35,6 +42,7 @@ __all__ = [
     "PACKET_SIZES",
     "Fig4Point",
     "run_point",
+    "run_scalar_vs_batched",
     "run_sweep",
     "SERVICE_CLASSES",
     "FctResult",

@@ -25,7 +25,15 @@ from ..trace.moongen import PacketGenerator, build_descriptor_pool
 from ..trace.stats import ThroughputSample
 from ..services.zerorate import ZeroRatingMiddlebox
 
-__all__ = ["Fig4Point", "run_point", "run_sweep", "PACKET_SIZES", "FLOW_LENGTHS"]
+__all__ = [
+    "Fig4Point",
+    "run_point",
+    "run_sweep",
+    "run_scalar_vs_batched",
+    "PACKET_SIZES",
+    "FLOW_LENGTHS",
+    "DEFAULT_BATCH_SIZE",
+]
 
 #: The figure's x-axis and series.
 PACKET_SIZES = (64, 256, 512, 1024, 1500)
@@ -33,6 +41,10 @@ FLOW_LENGTHS = (10, 50, 100)
 
 DEFAULT_DESCRIPTORS = 2_000
 DEFAULT_FLOWS = 200
+
+#: Packets per ``process_batch`` call in batched mode — the rx-burst
+#: size a DPDK poll hands to software (MoonGen's default burst region).
+DEFAULT_BATCH_SIZE = 256
 
 
 @dataclass
@@ -43,6 +55,7 @@ class Fig4Point:
     descriptors: int
     flows: int
     cookie_hits: int
+    mode: str = "scalar"
 
     def as_row(self) -> dict[str, float]:
         return {
@@ -59,13 +72,19 @@ def run_point(
     packets_per_flow: int,
     descriptors: int = DEFAULT_DESCRIPTORS,
     flows: int = DEFAULT_FLOWS,
+    mode: str = "scalar",
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> Fig4Point:
     """Measure one (packet size, flow length) point.
 
     Packet generation happens *before* the timed region; the timed region
     is exactly the middlebox's per-packet work, as MoonGen measured only
-    the device under test.
+    the device under test.  ``mode="scalar"`` drives one ``handle`` call
+    per packet; ``mode="batched"`` drives ``process_batch`` over
+    ``batch_size`` chunks of the same stream — the rx-burst arrival model.
     """
+    if mode not in ("scalar", "batched"):
+        raise ValueError(f"unknown mode {mode!r}")
     store = DescriptorStore()
     pool = build_descriptor_pool(descriptors, store)
     clock = time.perf_counter
@@ -80,11 +99,22 @@ def run_point(
     )
     packets = list(generator.packets(flows))
 
-    start = clock()
-    handle = middlebox.handle
-    for packet in packets:
-        handle(packet)
-    elapsed = clock() - start
+    if mode == "batched":
+        batches = [
+            packets[start : start + batch_size]
+            for start in range(0, len(packets), batch_size)
+        ]
+        start_time = clock()
+        process_batch = middlebox.process_batch
+        for batch in batches:
+            process_batch(batch)
+        elapsed = clock() - start_time
+    else:
+        start_time = clock()
+        handle = middlebox.handle
+        for packet in packets:
+            handle(packet)
+        elapsed = clock() - start_time
 
     return Fig4Point(
         sample=ThroughputSample(
@@ -96,7 +126,49 @@ def run_point(
         descriptors=descriptors,
         flows=flows,
         cookie_hits=middlebox.cookie_hits,
+        mode=mode,
     )
+
+
+def run_scalar_vs_batched(
+    packet_size: int = 512,
+    packets_per_flow: int = 50,
+    descriptors: int = DEFAULT_DESCRIPTORS,
+    flows: int = DEFAULT_FLOWS,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    rounds: int = 3,
+) -> dict[str, float]:
+    """Best-of-``rounds`` scalar vs batched comparison at one point.
+
+    Returns ``{"scalar_pps", "batched_pps", "speedup"}``; best-of is used
+    because single ~50 ms measurements are noisy under a loaded suite.
+    """
+    scalar_pps = max(
+        run_point(
+            packet_size,
+            packets_per_flow,
+            descriptors=descriptors,
+            flows=flows,
+            mode="scalar",
+        ).sample.packets_per_second
+        for _ in range(rounds)
+    )
+    batched_pps = max(
+        run_point(
+            packet_size,
+            packets_per_flow,
+            descriptors=descriptors,
+            flows=flows,
+            mode="batched",
+            batch_size=batch_size,
+        ).sample.packets_per_second
+        for _ in range(rounds)
+    )
+    return {
+        "scalar_pps": scalar_pps,
+        "batched_pps": batched_pps,
+        "speedup": batched_pps / scalar_pps if scalar_pps else 0.0,
+    }
 
 
 def run_sweep(

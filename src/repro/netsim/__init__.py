@@ -24,6 +24,7 @@ from .headers import (
 )
 from .links import Link
 from .middlebox import (
+    BatchDriver,
     Classifier,
     Counter,
     Element,
@@ -72,6 +73,7 @@ __all__ = [
     "Link",
     "Classifier",
     "Counter",
+    "BatchDriver",
     "Element",
     "Filter",
     "FunctionElement",

@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING, Callable
 from ...core.matcher import CookieMatcher
 from ...core.transport import TransportRegistry, default_registry
 from ...netsim.flow import FiveTuple
+from ...netsim.headers import IPv4Header as _IPv4Header
+from ...netsim.headers import TCPHeader as _TCPHeader
 from ...netsim.middlebox import Element
 from ...netsim.packet import Packet
 
@@ -224,6 +226,184 @@ class ZeroRatingMiddlebox(Element):
         if state.zero_rated:
             packet.meta["zero_rated"] = True
         self.emit(packet)
+
+    def process_batch(self, packets: list[Packet]) -> None:
+        """Batched fast path: one tick's packets, one observation time.
+
+        Semantically identical to ``for p in packets: self.handle(p)``
+        with the clock frozen for the batch (the scalar path reads the
+        clock per packet; batch arrival means the whole vector is
+        observed at the tick's start).  The per-packet savings:
+
+        - the clock is read once per batch, telemetry counters are
+          aggregated in locals and flushed once;
+        - every ``self.`` attribute used on the hot path is bound once;
+        - consecutive packets of a *resolved* flow (the common burst
+          shape — think GRO) coalesce into a run: the head packet pays
+          the full dict/LRU path, the rest of the run only compares
+          header fields against the head, accumulates bytes, and is
+          billed to the flow's counter in one addition.  Final LRU order
+          and counter values are unchanged — consecutive scalar touches
+          of one key neither move it relative to other keys nor bill a
+          different total.
+        """
+        now = self.clock()
+        flows = self._flows
+        counters = self.counters
+        extract = self.registry.extract
+        match = self.matcher.match
+        sniff = self.sniff_packets
+        idle = self.flow_idle_timeout
+        max_subscribers = self.max_subscribers
+        on_subscriber_evicted = self.on_subscriber_evicted
+        processed = 0
+        hits = 0
+        misses = 0
+        out: list[Packet] = []
+        append = out.append
+        index = 0
+        total = len(packets)
+        while index < total:
+            packet = packets[index]
+            index += 1
+            processed += 1
+            ip = packet.ip
+            l4 = packet.l4
+            if ip is None or l4 is None:
+                append(packet)
+                continue
+            src = ip.src
+            dst = ip.dst
+            sport = l4.src_port
+            dport = l4.dst_port
+            proto = ip.proto
+            a = (src, sport)
+            b = (dst, dport)
+            key = (a, b, proto) if a <= b else (b, a, proto)
+            state = flows.pop(key, None)
+            if state is None:
+                self._evict_for_space(now)
+                state = _FlowState(subscriber_ip=self._subscriber_of(src, dst))
+            elif now - state.last_seen > idle:
+                self.flows_evicted_idle += 1
+                state = _FlowState(subscriber_ip=self._subscriber_of(src, dst))
+            state.last_seen = now
+            flows[key] = state
+            packets_seen = state.packets_seen + 1
+            state.packets_seen = packets_seen
+
+            if not state.resolved and packets_seen <= sniff:
+                found = extract(packet)
+                if found is not None:
+                    descriptor = match(found[0], now)
+                    if descriptor is not None:
+                        state.zero_rated = True
+                        state.service = descriptor.service_data
+                        hits += 1
+                        self._resolve(key, state)
+                    else:
+                        misses += 1
+                if not state.resolved and packets_seen >= sniff:
+                    self._resolve(key, state)
+
+            # Inlined _account for the head packet.
+            subscriber_ip = state.subscriber_ip
+            sub_counters = counters.get(subscriber_ip)
+            if sub_counters is None:
+                while len(counters) >= max_subscribers:
+                    evicted_ip = next(iter(counters))
+                    evicted = counters.pop(evicted_ip)
+                    self.subscribers_evicted += 1
+                    if on_subscriber_evicted is not None:
+                        on_subscriber_evicted(evicted_ip, evicted)
+                sub_counters = SubscriberCounters()
+                counters[subscriber_ip] = sub_counters
+            elif packets_seen == 1:
+                del counters[subscriber_ip]
+                counters[subscriber_ip] = sub_counters
+            zero_rated = state.zero_rated
+            if zero_rated:
+                sub_counters.free_bytes += packet.wire_length
+                packet.meta["zero_rated"] = True
+            else:
+                sub_counters.charged_bytes += packet.wire_length
+            append(packet)
+
+            if not state.resolved:
+                continue
+            # Resolved-run fast sub-loop: consume every immediately
+            # following packet of the same conversation (either
+            # direction) without re-touching the dicts.  Nothing the
+            # scalar path would do for these packets survives skipping:
+            # the LRU entry is already at the recent end with
+            # last_seen == now, the verdict is final (resolved flows
+            # skip cookie work), and byte accounting is additive.
+            # Header *types* are per-flow constants, so the run head's
+            # types pick constant-size wire-length arithmetic and only
+            # packets carrying options/extensions fall back to the
+            # header's own property.
+            ip_is_v4 = type(ip) is _IPv4Header
+            l4_is_tcp = type(l4) is _TCPHeader
+            run_packets = 0
+            run_bytes = 0
+            while index < total:
+                nxt = packets[index]
+                nip = nxt.ip
+                nl4 = nxt.l4
+                if nip is None or nl4 is None:
+                    break
+                nsrc = nip.src
+                ndst = nip.dst
+                nsport = nl4.src_port
+                ndport = nl4.dst_port
+                if nip.proto != proto or not (
+                    (
+                        nsrc == src
+                        and ndst == dst
+                        and nsport == sport
+                        and ndport == dport
+                    )
+                    or (
+                        nsrc == dst
+                        and ndst == src
+                        and nsport == dport
+                        and ndport == sport
+                    )
+                ):
+                    break
+                index += 1
+                run_packets += 1
+                wire = nxt.payload.size
+                header = nxt.eth
+                if header is not None:
+                    wire += 14  # EthernetHeader.WIRE_LENGTH
+                if ip_is_v4:
+                    wire += 20  # IPv4Header.WIRE_LENGTH
+                elif nip.extensions:
+                    wire += nip.wire_length
+                else:
+                    wire += 40  # IPv6Header.BASE_WIRE_LENGTH
+                if not l4_is_tcp:
+                    wire += 8  # UDPHeader.WIRE_LENGTH
+                elif nl4.options:
+                    wire += nl4.wire_length
+                else:
+                    wire += 20  # TCPHeader.BASE_WIRE_LENGTH
+                run_bytes += wire
+                if zero_rated:
+                    nxt.meta["zero_rated"] = True
+                append(nxt)
+            if run_packets:
+                processed += run_packets
+                state.packets_seen = packets_seen + run_packets
+                if zero_rated:
+                    sub_counters.free_bytes += run_bytes
+                else:
+                    sub_counters.charged_bytes += run_bytes
+        self.packets_processed += processed
+        self.cookie_hits += hits
+        self.cookie_misses += misses
+        self.emit_batch(out)
 
     def _resolve(self, key: tuple, state: _FlowState) -> None:
         state.resolved = True

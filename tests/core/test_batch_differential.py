@@ -1,0 +1,521 @@
+"""Differential tests: the batched verification path against the scalar one.
+
+Every property here has the same shape: build two identical verifiers
+over one descriptor store, drive one with ``match`` per cookie and the
+other with ``match_batch`` over the same sequence, and demand *complete*
+observable equivalence — verdicts (by position), :class:`MatchStats`,
+replay-cache internals (generation sets, rotation counters), and
+telemetry snapshots.  Hypothesis supplies adversarial batches: replayed
+uuids, timestamps straddling the 5 s NCT boundary, unknown descriptor
+ids, malformed signatures, revoked and expired descriptors, all mixed.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.attributes import CookieAttributes
+from repro.core.cookie import (
+    SIGNATURE_BYTES,
+    UUID_BYTES,
+    Cookie,
+    SignerCache,
+    sign_cookie_fields,
+)
+from repro.core.descriptor import CookieDescriptor
+from repro.core.distributed import NaiveVerifierPool, ShardedVerifierPool
+from repro.core.matcher import (
+    NETWORK_COHERENCY_TIME,
+    CookieMatcher,
+    ReplayCache,
+    ShardedReplayCache,
+)
+from repro.core.store import DescriptorStore
+from repro.telemetry import MetricsRegistry
+
+NOW = 1_000.0
+NCT = NETWORK_COHERENCY_TIME
+N_ACTIVE = 4
+
+#: Failure-mode mix the batch strategy draws from.  Small uuid-tag ranges
+#: make within-batch replays common rather than rare.
+KINDS = ("valid", "valid", "bad_sig", "stale", "unknown", "revoked", "expired")
+
+
+class _Env:
+    """One descriptor store with usable, revoked, and expired entries."""
+
+    def __init__(self):
+        self.store = DescriptorStore()
+        self.active = [
+            self.store.add(CookieDescriptor.create(service_data=f"svc-{i}"))
+            for i in range(N_ACTIVE)
+        ]
+        self.revoked = self.store.add(
+            CookieDescriptor.create(service_data="revoked")
+        )
+        self.revoked.revoke()
+        self.expired = self.store.add(
+            CookieDescriptor.create(
+                service_data="expired",
+                attributes=CookieAttributes(expires_at=NOW - 60.0),
+            )
+        )
+
+    def unknown_id(self, seed: int) -> int:
+        cookie_id = 1 + seed
+        while self.store.get(cookie_id) is not None:
+            cookie_id += 1
+        return cookie_id
+
+
+def _uuid(tag: int) -> bytes:
+    return tag.to_bytes(UUID_BYTES, "big")
+
+
+def _signed(descriptor, uuid: bytes, timestamp: float) -> Cookie:
+    return Cookie(
+        cookie_id=descriptor.cookie_id,
+        uuid=uuid,
+        timestamp=timestamp,
+        signature=sign_cookie_fields(
+            descriptor.key, descriptor.cookie_id, uuid, timestamp
+        ),
+    )
+
+
+def _materialize(env: _Env, specs) -> list[Cookie]:
+    cookies = []
+    for kind, desc_index, tag, offset, skew in specs:
+        uuid = _uuid(tag)
+        if kind == "unknown":
+            cookies.append(
+                Cookie(
+                    cookie_id=env.unknown_id(tag),
+                    uuid=uuid,
+                    timestamp=NOW,
+                    signature=b"\x00" * SIGNATURE_BYTES,
+                )
+            )
+            continue
+        if kind == "revoked":
+            descriptor = env.revoked
+        elif kind == "expired":
+            descriptor = env.expired
+        else:
+            descriptor = env.active[desc_index]
+        timestamp = NOW + offset
+        if kind == "stale":
+            timestamp = NOW + math.copysign(NCT + skew, offset)
+        cookie = _signed(descriptor, uuid, timestamp)
+        if kind == "bad_sig":
+            flipped = bytes([cookie.signature[0] ^ 0xFF])
+            cookie = Cookie(
+                cookie_id=cookie.cookie_id,
+                uuid=uuid,
+                timestamp=timestamp,
+                signature=flipped + cookie.signature[1:],
+            )
+        cookies.append(cookie)
+    return cookies
+
+
+@st.composite
+def batch_specs(draw, max_size=32):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(KINDS),
+                st.integers(0, N_ACTIVE - 1),
+                st.integers(0, 11),
+                st.floats(-4.5, 4.5, allow_nan=False),
+                st.floats(0.001, 30.0, allow_nan=False),
+            ),
+            max_size=max_size,
+        )
+    )
+
+
+def _cache_state(cache):
+    """Full observable state of a replay cache, shard-recursive."""
+    if isinstance(cache, ShardedReplayCache):
+        return [_cache_state(cache.shard(i)) for i in range(cache.shard_count)]
+    return (
+        set(cache._current),
+        set(cache._previous),
+        cache._generation_start,
+        cache.rotations,
+        cache.idle_resets,
+    )
+
+
+def _differential(specs, cache_factory=lambda: None, chunk: int | None = None):
+    env = _Env()
+    cookies = _materialize(env, specs)
+    scalar = CookieMatcher(env.store, replay_cache=cache_factory())
+    batched = CookieMatcher(env.store, replay_cache=cache_factory())
+    scalar_verdicts = [scalar.match(cookie, NOW) for cookie in cookies]
+    if chunk:
+        batched_verdicts = []
+        for start in range(0, len(cookies), chunk):
+            batched_verdicts.extend(
+                batched.match_batch(cookies[start : start + chunk], NOW)
+            )
+    else:
+        batched_verdicts = batched.match_batch(cookies, NOW)
+    return scalar, batched, scalar_verdicts, batched_verdicts
+
+
+class TestMatcherDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(specs=batch_specs())
+    def test_verdicts_equal_scalar(self, specs):
+        _, _, scalar_verdicts, batched_verdicts = _differential(specs)
+        # Descriptors come from one shared store, so identity comparison
+        # is exact: same object accepted, or None in both paths.
+        assert batched_verdicts == scalar_verdicts
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs=batch_specs())
+    def test_stats_equal_scalar(self, specs):
+        scalar, batched, _, _ = _differential(specs)
+        assert batched.stats.as_dict() == scalar.stats.as_dict()
+        assert batched.stats.rejected == scalar.stats.rejected
+        assert batched.stats.total == len(specs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs=batch_specs())
+    def test_replay_cache_state_equal_scalar(self, specs):
+        scalar, batched, _, _ = _differential(specs)
+        assert _cache_state(batched.replay_cache) == _cache_state(
+            scalar.replay_cache
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs=batch_specs())
+    def test_telemetry_snapshots_equal_scalar(self, specs):
+        scalar, batched, _, _ = _differential(specs)
+        scalar_registry, batched_registry = MetricsRegistry(), MetricsRegistry()
+        scalar.register_telemetry(scalar_registry)
+        batched.register_telemetry(batched_registry)
+        scalar_snapshot = scalar_registry.snapshot()
+        batched_snapshot = batched_registry.snapshot()
+        assert batched_snapshot.counters == scalar_snapshot.counters
+        assert batched_snapshot.gauges == scalar_snapshot.gauges
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs=batch_specs(), shards=st.integers(1, 5))
+    def test_sharded_replay_cache_equal_scalar(self, specs, shards):
+        scalar, batched, scalar_verdicts, batched_verdicts = _differential(
+            specs, cache_factory=lambda: ShardedReplayCache(shards=shards)
+        )
+        assert batched_verdicts == scalar_verdicts
+        assert batched.stats.as_dict() == scalar.stats.as_dict()
+        assert _cache_state(batched.replay_cache) == _cache_state(
+            scalar.replay_cache
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs=batch_specs(), chunk=st.integers(1, 9))
+    def test_chunked_batches_equal_scalar(self, specs, chunk):
+        """Splitting one stream into arbitrary rx-burst sizes changes
+        nothing: each chunk is a left-to-right pass at the same instant."""
+        scalar, batched, scalar_verdicts, batched_verdicts = _differential(
+            specs, chunk=chunk
+        )
+        assert batched_verdicts == scalar_verdicts
+        assert batched.stats.as_dict() == scalar.stats.as_dict()
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=batch_specs(max_size=1))
+    def test_singleton_batch_equals_match(self, specs):
+        _, _, scalar_verdicts, batched_verdicts = _differential(specs)
+        assert batched_verdicts == scalar_verdicts
+
+    def test_empty_batch(self):
+        env = _Env()
+        matcher = CookieMatcher(env.store)
+        assert matcher.match_batch([], NOW) == []
+        assert matcher.stats.total == 0
+
+    def test_duplicate_uuid_in_batch_first_wins(self):
+        env = _Env()
+        cookie = _signed(env.active[0], _uuid(7), NOW)
+        matcher = CookieMatcher(env.store)
+        verdicts = matcher.match_batch([cookie, cookie, cookie], NOW)
+        assert verdicts == [env.active[0], None, None]
+        assert matcher.stats.accepted == 1
+        assert matcher.stats.replayed == 2
+
+    def test_replay_detected_across_batches(self):
+        env = _Env()
+        cookie = _signed(env.active[0], _uuid(3), NOW)
+        matcher = CookieMatcher(env.store)
+        assert matcher.match_batch([cookie], NOW) == [env.active[0]]
+        assert matcher.match_batch([cookie], NOW + 1.0) == [None]
+        assert matcher.stats.replayed == 1
+
+    def test_nct_boundary_bit_exact(self):
+        """Timestamps exactly at ±NCT are accepted; one ulp beyond is
+        stale — and the batched path agrees with scalar on every float."""
+        env = _Env()
+        descriptor = env.active[0]
+        timestamps = [
+            NOW + NCT,
+            NOW - NCT,
+            math.nextafter(NOW + NCT, math.inf),
+            math.nextafter(NOW - NCT, -math.inf),
+        ]
+        cookies = [
+            _signed(descriptor, _uuid(10 + i), ts)
+            for i, ts in enumerate(timestamps)
+        ]
+        scalar = CookieMatcher(env.store)
+        batched = CookieMatcher(env.store)
+        scalar_verdicts = [scalar.match(c, NOW) for c in cookies]
+        batched_verdicts = batched.match_batch(cookies, NOW)
+        assert batched_verdicts == scalar_verdicts
+        assert scalar_verdicts == [descriptor, descriptor, None, None]
+        assert batched.stats.stale_timestamp == 2
+
+    def test_failed_checks_do_not_record_uuid(self):
+        """A bad-signature or stale cookie must not poison its uuid: a
+        later well-formed cookie with the same uuid is still accepted —
+        in both paths, even within one batch."""
+        env = _Env()
+        descriptor = env.active[0]
+        uuid = _uuid(5)
+        good = _signed(descriptor, uuid, NOW)
+        bad_sig = Cookie(
+            cookie_id=good.cookie_id,
+            uuid=uuid,
+            timestamp=good.timestamp,
+            signature=bytes([good.signature[0] ^ 1]) + good.signature[1:],
+        )
+        stale = _signed(descriptor, uuid, NOW + NCT + 1.0)
+        batch = [bad_sig, stale, good]
+        scalar = CookieMatcher(env.store)
+        batched = CookieMatcher(env.store)
+        scalar_verdicts = [scalar.match(c, NOW) for c in batch]
+        batched_verdicts = batched.match_batch(batch, NOW)
+        assert batched_verdicts == scalar_verdicts == [None, None, descriptor]
+        assert batched.stats.as_dict() == scalar.stats.as_dict()
+
+    def test_unknown_revoked_expired_memoized_counts(self):
+        """The per-batch descriptor memo must still count every cookie."""
+        env = _Env()
+        batch = (
+            _materialize(env, [("unknown", 0, i, 0.0, 1.0) for i in range(3)])
+            + _materialize(env, [("revoked", 0, i, 0.0, 1.0) for i in range(4)])
+            + _materialize(env, [("expired", 0, i, 0.0, 1.0) for i in range(5)])
+        )
+        matcher = CookieMatcher(env.store)
+        assert matcher.match_batch(batch, NOW) == [None] * 12
+        assert matcher.stats.unknown_id == 3
+        assert matcher.stats.revoked == 4
+        assert matcher.stats.expired == 5
+
+
+class TestSignerCache:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        key=st.binary(min_size=1, max_size=64),
+        cookie_id=st.integers(0, 2**64 - 1),
+        tag=st.integers(0, 2**32 - 1),
+        timestamp=st.floats(
+            0.0, 2**31, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def test_digest_matches_sign_cookie_fields(
+        self, key, cookie_id, tag, timestamp
+    ):
+        cache = SignerCache()
+        uuid = _uuid(tag)
+        expected = sign_cookie_fields(key, cookie_id, uuid, timestamp)
+        assert cache.sign(key, cookie_id, uuid, timestamp) == expected
+        # Second call serves from the pre-keyed context: same digest.
+        assert cache.sign(key, cookie_id, uuid, timestamp) == expected
+
+    def test_eviction_preserves_correctness(self):
+        cache = SignerCache(max_keys=2)
+        keys = [bytes([i]) * 32 for i in range(5)]
+        for key in keys + keys:
+            assert cache.sign(key, 1, _uuid(1), NOW) == sign_cookie_fields(
+                key, 1, _uuid(1), NOW
+            )
+
+
+class TestShardedReplayCache:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 20), st.floats(0.0, 4.0, allow_nan=False)),
+            max_size=40,
+        ),
+        shards=st.integers(1, 6),
+    )
+    def test_matches_standalone_caches_per_shard(self, ops, shards):
+        """A sharded cache is observationally N unsharded caches: replay
+        the same op sequence against both and compare every answer and
+        every internal counter, per shard."""
+        sharded = ShardedReplayCache(shards=shards)
+        standalone = [ReplayCache() for _ in range(shards)]
+        now = 0.0
+        for tag, advance in ops:
+            now += advance
+            uuid = _uuid(tag)
+            index = sharded.shard_for(uuid)
+            assert sharded.check_and_record(uuid, now) == standalone[
+                index
+            ].check_and_record(uuid, now)
+        for index in range(shards):
+            assert _cache_state(sharded.shard(index)) == _cache_state(
+                standalone[index]
+            )
+        assert sharded.size == sum(c.size for c in standalone)
+        assert sharded.rotations == sum(c.rotations for c in standalone)
+        assert sharded.idle_resets == sum(c.idle_resets for c in standalone)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tag=st.integers(0, 2**64 - 1), shards=st.integers(1, 8))
+    def test_shard_for_stable_and_in_range(self, tag, shards):
+        cache = ShardedReplayCache(shards=shards)
+        uuid = _uuid(tag)
+        index = cache.shard_for(uuid)
+        assert 0 <= index < shards
+        assert cache.shard_for(uuid) == index
+
+    def test_single_shard_equals_unsharded(self):
+        sharded = ShardedReplayCache(shards=1)
+        plain = ReplayCache()
+        sequence = [(_uuid(1), 0.0), (_uuid(2), 3.0), (_uuid(1), 6.0),
+                    (_uuid(1), 9.0), (_uuid(3), 30.0), (_uuid(3), 30.5)]
+        for uuid, now in sequence:
+            assert sharded.check_and_record(uuid, now) == plain.check_and_record(
+                uuid, now
+            )
+        assert _cache_state(sharded.shard(0)) == _cache_state(plain)
+
+    def test_replay_across_shard_rotation_regression(self):
+        """Regression (the satellite's scenario): a uuid recorded before
+        its shard rotates must still be caught afterwards — the rotation
+        moves it to the shard's previous generation, not out of memory —
+        and must be forgotten after two full windows, exactly like the
+        unsharded cache."""
+        window = NETWORK_COHERENCY_TIME
+        sharded = ShardedReplayCache(shards=4)
+        plain = ReplayCache()
+        uuid = _uuid(42)
+        index = sharded.shard_for(uuid)
+
+        for cache in (sharded, plain):
+            assert not cache.check_and_record(uuid, 0.0)
+        # Drive the shard across its generation boundary with *other*
+        # traffic that lands on the same shard (rotation is lazy).
+        same_shard_tag = next(
+            tag
+            for tag in range(1000)
+            if tag != 42 and sharded.shard_for(_uuid(tag)) == index
+        )
+        filler_time = window + 0.5
+        assert not sharded.check_and_record(_uuid(same_shard_tag), filler_time)
+        assert not plain.check_and_record(_uuid(same_shard_tag), filler_time)
+        assert sharded.shard(index).rotations == 1
+
+        # Replayed one rotation later: still within coverage, caught.
+        assert sharded.check_and_record(uuid, window + 1.0)
+        assert plain.check_and_record(uuid, window + 1.0)
+        # Two full windows after the record: both caches have forgotten.
+        late = 2 * window + 1.0
+        assert not sharded.seen_before(uuid, late)
+        assert not ReplayCache().seen_before(uuid, late)
+
+    def test_rotation_is_per_shard(self):
+        """Traffic that only touches one shard must not rotate others."""
+        cache = ShardedReplayCache(shards=4)
+        uuid = _uuid(0)
+        index = cache.shard_for(uuid)
+        cache.record(uuid, 0.0)
+        cache.record(uuid, NETWORK_COHERENCY_TIME + 1.0)
+        assert cache.shard(index).rotations == 1
+        for other in range(cache.shard_count):
+            if other != index:
+                assert cache.shard(other).rotations == 0
+        assert cache.rotations == 1
+
+    def test_rejects_zero_shards(self):
+        try:
+            ShardedReplayCache(shards=0)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError for zero shards")
+
+
+class TestVerifierPoolBatch:
+    @settings(max_examples=40, deadline=None)
+    @given(specs=batch_specs(), shards=st.integers(1, 5))
+    def test_sharded_pool_batch_equals_scalar(self, specs, shards):
+        env = _Env()
+        cookies = _materialize(env, specs)
+        scalar_pool = ShardedVerifierPool(env.store, shards=shards)
+        batched_pool = ShardedVerifierPool(env.store, shards=shards)
+        scalar_verdicts = [scalar_pool.match(c, NOW) for c in cookies]
+        batched_verdicts = batched_pool.match_batch(cookies, NOW)
+        assert batched_verdicts == scalar_verdicts
+        assert (batched_pool.stats.accepted, batched_pool.stats.rejected) == (
+            scalar_pool.stats.accepted,
+            scalar_pool.stats.rejected,
+        )
+        # Per-shard matcher stats agree too: affinity routed the same
+        # cookies to the same shards in both modes.
+        for scalar_shard, batched_shard in zip(
+            scalar_pool.shards, batched_pool.shards
+        ):
+            assert (
+                batched_shard.stats.as_dict() == scalar_shard.stats.as_dict()
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=batch_specs(max_size=16), shards=st.integers(2, 4))
+    def test_naive_pool_batch_equals_scalar_loop(self, specs, shards):
+        """The base-class default must match a per-cookie loop exactly,
+        including the round-robin cursor's progression."""
+        env = _Env()
+        cookies = _materialize(env, specs)
+        loop_pool = NaiveVerifierPool(env.store, shards=shards)
+        batch_pool = NaiveVerifierPool(env.store, shards=shards)
+        loop_verdicts = [loop_pool.match(c, NOW) for c in cookies]
+        batch_verdicts = batch_pool.match_batch(cookies, NOW)
+        assert batch_verdicts == loop_verdicts
+        assert batch_pool._cursor == loop_pool._cursor
+
+    def test_sharded_pool_memo_matches_shard_for(self):
+        env = _Env()
+        pool = ShardedVerifierPool(env.store, shards=3)
+        cookies = [
+            _signed(descriptor, _uuid(i), NOW)
+            for i, descriptor in enumerate(env.active)
+        ]
+        pool.match_batch(cookies, NOW)
+        for cookie in cookies:
+            assert pool._shard_memo[cookie.cookie_id] == pool.shard_for(cookie)
+
+    def test_sharded_pool_no_double_spend_in_batch(self):
+        """One cookie presented many times in one batch is granted once,
+        regardless of batch boundaries."""
+        env = _Env()
+        pool = ShardedVerifierPool(env.store, shards=4)
+        cookie = _signed(env.active[1], _uuid(9), NOW)
+        verdicts = pool.match_batch([cookie] * 6, NOW)
+        assert verdicts[0] is env.active[1]
+        assert verdicts[1:] == [None] * 5
+        assert pool.match_batch([cookie], NOW) == [None]
+        assert pool.stats.accepted == 1
+
+    def test_pool_empty_batch(self):
+        env = _Env()
+        pool = ShardedVerifierPool(env.store, shards=2)
+        assert pool.match_batch([], NOW) == []
+        assert pool.stats.accepted == pool.stats.rejected == 0
