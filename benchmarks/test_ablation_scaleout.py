@@ -8,10 +8,23 @@ This benchmark quantifies both sides on the same workload:
   spreading load across shards;
 - a naive load-balanced pool grants the same cookie once *per shard* —
   measurable double-spending.
+
+``test_scaleout_multicore`` then measures the payoff of doing it with
+real cores: the :class:`ProcessShardExecutor` at 1/2/4 workers against
+the in-process pool on one verification-bound stream (the paper's §5
+linear-scaling claim, Fig. 4's regime).  It always writes
+``benchmarks/reports/scaleout_multicore.json`` for the CI step summary;
+the ≥1.8x parallel-efficiency floor is only asserted on ≥4-core
+machines (on smaller runners the numbers are recorded, not judged).
 """
+
+import json
+import os
+import pathlib
 
 from repro.core import CookieDescriptor, CookieGenerator, DescriptorStore
 from repro.core.distributed import NaiveVerifierPool, ShardedVerifierPool
+from repro.experiments.scaleout import format_scaleout_report, run_scaleout
 
 SHARDS = 4
 DESCRIPTORS = 200
@@ -86,8 +99,11 @@ def test_ablation_scaleout_double_spend(benchmark, report):
 
 def test_ablation_scaleout_scalar_vs_batched(benchmark, report):
     """Batched dispatch must beat per-cookie dispatch while granting the
-    exact same set: memoized rendezvous hashing plus per-shard
-    ``match_batch`` amortizes the per-cookie blake2b and HMAC keying."""
+    exact same set.  Both paths now memoize the rendezvous hash (scalar
+    ``match`` shares the batch path's ``_shard_memo``), so the remaining
+    edge is per-shard ``match_batch`` amortization — HMAC context reuse
+    and single-pass local binding — worth ~1.4x rather than the ~2x+ it
+    measured when the scalar baseline still paid blake2b per call."""
     import time
 
     store, cookies = _workload()
@@ -120,7 +136,53 @@ def test_ablation_scaleout_scalar_vs_batched(benchmark, report):
     benchmark.extra_info["speedup"] = round(speedup, 3)
 
     assert scalar_grants == batched_grants == COOKIES
-    assert speedup >= 2.0, (scalar_cps, batched_cps)
+    assert speedup >= 1.15, (scalar_cps, batched_cps)
+
+
+MULTICORE_WORKER_COUNTS = (1, 2, 4)
+MULTICORE_SPEEDUP_FLOOR = 1.8
+MULTICORE_JSON = pathlib.Path(__file__).parent / "reports" / "scaleout_multicore.json"
+
+
+def test_scaleout_multicore(benchmark, report):
+    """Fig. 4 scale-out: process shards vs the in-process pool.
+
+    The JSON report is written unconditionally (CI publishes it to the
+    step summary; the checked-in copy documents a reference run).  The
+    parallel-efficiency assertion — ≥1.8x at 4 workers over 1 worker —
+    needs 4 real cores to be physics rather than scheduling noise, so it
+    is gated on ``os.cpu_count()``.
+    """
+    result = benchmark.pedantic(
+        lambda: run_scaleout(worker_counts=MULTICORE_WORKER_COUNTS, rounds=2),
+        rounds=1,
+        iterations=1,
+    )
+
+    MULTICORE_JSON.parent.mkdir(exist_ok=True)
+    MULTICORE_JSON.write_text(json.dumps(result, indent=2) + "\n")
+    for line in format_scaleout_report(result).splitlines():
+        report(line)
+
+    configs = {
+        (c["mode"], c["workers"]): c for c in result["configs"]
+    }
+    total = result["workload"]["cookies"]
+    # Every configuration grants every cookie exactly once: the stream is
+    # all-valid and unique, and a fresh pool starts each round cold.
+    for config in result["configs"]:
+        assert config["grants"] == total, config
+    four = configs[("multi-process", 4)]
+    benchmark.extra_info["cookies_per_s_4_workers"] = four["cookies_per_s"]
+    benchmark.extra_info["speedup_vs_1_worker"] = four["speedup_vs_1_worker"]
+    benchmark.extra_info["cpu_count"] = result["cpu_count"]
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert four["speedup_vs_1_worker"] >= MULTICORE_SPEEDUP_FLOOR, result
+    else:
+        report()
+        report(f"only {cores} core(s): speedup floor not asserted")
 
 
 def test_ablation_scaleout_load_balance(benchmark, report):

@@ -110,22 +110,52 @@ def _cmd_sec46(args) -> None:
 
 def _cmd_stats(args) -> None:
     """One merged telemetry snapshot for a synthetic data-path workload."""
-    snapshot = run_stats_workload(flows=args.flows, packets_per_flow=6)
+    snapshot = run_stats_workload(
+        flows=args.flows, packets_per_flow=6, pool_workers=args.pool_workers
+    )
     if args.json:
         print(snapshot.to_json())
     else:
+        detail = ""
+        if args.pool_workers:
+            detail = (f" + {args.pool_workers}-worker process verifier "
+                      "pool")
         print(f"telemetry snapshot — {args.flows} flows through "
-              "cookie switch + zero-rating middlebox")
+              f"cookie switch + zero-rating middlebox{detail}")
         print(snapshot.format_text())
 
 
-def run_stats_workload(flows: int = 200, packets_per_flow: int = 6):
+def _cmd_scaleout(args) -> None:
+    """Multi-core verification: in-process vs 1/2/4 worker processes."""
+    from repro.experiments import format_scaleout_report, run_scaleout
+
+    workers = tuple(args.workers) if args.workers else None
+    report = run_scaleout(
+        worker_counts=workers or (1, 2, 4),
+        cookies=args.cookies,
+        rounds=args.rounds,
+    )
+    print("§5 scale-out — verification-bound stream, identical batches")
+    print(format_scaleout_report(report))
+
+
+def run_stats_workload(
+    flows: int = 200,
+    packets_per_flow: int = 6,
+    pool_workers: int | None = None,
+):
     """Drive a cookie switch and a zero-rating middlebox (each with its
     own matcher) through one registry and return the merged snapshot.
 
     The traffic mix exercises every counter family: valid cookies,
     forged cookies, replays, and bare flows, over enough simulated time
     for the replay cache to rotate.
+
+    ``pool_workers`` additionally runs the same cookie mix through a
+    :class:`~repro.core.parallel.ProcessShardExecutor` registered in the
+    same registry — its collector polls each worker process's stats on
+    demand at snapshot time, so the printed snapshot includes live
+    multi-process counters under the ``pool.`` prefix.
     """
     from repro.core import (
         CookieDescriptor,
@@ -190,6 +220,21 @@ def run_stats_workload(flows: int = 200, packets_per_flow: int = 6):
                                 payload_size=1200)
             )
         flow_sizes.observe(count)
+
+    if pool_workers:
+        from repro.core.parallel import ProcessShardExecutor
+
+        cookies = [
+            CookieGenerator(descriptor, clock).generate()
+            for _ in range(max(1, flows))
+        ]
+        with ProcessShardExecutor(store, workers=pool_workers) as pool:
+            pool.match_batch(cookies + cookies[: len(cookies) // 4],
+                             clock_now)
+            pool.register_telemetry(registry, prefix="pool")
+            # Snapshot while workers are alive: the pool collector polls
+            # each worker process on demand.
+            return registry.snapshot()
     return registry.snapshot()
 
 
@@ -203,6 +248,7 @@ COMMANDS = {
     "sec3": _cmd_sec3,
     "sec46": _cmd_sec46,
     "stats": _cmd_stats,
+    "scaleout": _cmd_scaleout,
 }
 
 
@@ -234,6 +280,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic flows to drive through the path")
     stats.add_argument("--json", action="store_true",
                        help="print the snapshot as JSON")
+    stats.add_argument("--pool-workers", type=int, default=0,
+                       help="also run a process-shard verifier pool with "
+                            "N workers and include its telemetry")
+    scaleout = sub.add_parser(
+        "scaleout",
+        help="multi-core verification: in-process vs worker processes",
+    )
+    scaleout.add_argument("--workers", type=int, nargs="*",
+                          help="worker counts to measure (default: 1 2 4)")
+    scaleout.add_argument("--cookies", type=int, default=24_000)
+    scaleout.add_argument("--rounds", type=int, default=3)
     return parser
 
 

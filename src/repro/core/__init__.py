@@ -25,7 +25,19 @@ from .cookie import (
 )
 from .delegation import DelegatedParty, delegate_descriptor, make_ack_cookie
 from .descriptor import COOKIE_ID_BITS, CookieDescriptor
-from .distributed import NaiveVerifierPool, PoolStats, ShardedVerifierPool
+from .distributed import (
+    NaiveVerifierPool,
+    PoolStats,
+    ShardedVerifierPool,
+    rendezvous_shard,
+)
+from .parallel import (
+    ProcessShardExecutor,
+    decode_batch,
+    decode_verdicts,
+    encode_batch,
+    encode_verdicts,
+)
 from .discovery import (
     DHCP_COOKIE_SERVER_OPTION,
     DhcpDiscovery,
@@ -99,6 +111,12 @@ __all__ = [
     "NaiveVerifierPool",
     "PoolStats",
     "ShardedVerifierPool",
+    "rendezvous_shard",
+    "ProcessShardExecutor",
+    "encode_batch",
+    "decode_batch",
+    "encode_verdicts",
+    "decode_verdicts",
     "DHCP_COOKIE_SERVER_OPTION",
     "DhcpDiscovery",
     "Directory",

@@ -30,7 +30,35 @@ from .descriptor import CookieDescriptor
 from .matcher import NETWORK_COHERENCY_TIME, CookieMatcher
 from .store import DescriptorStore
 
-__all__ = ["ShardedVerifierPool", "NaiveVerifierPool", "PoolStats"]
+__all__ = [
+    "ShardedVerifierPool",
+    "NaiveVerifierPool",
+    "PoolStats",
+    "rendezvous_shard",
+]
+
+
+def rendezvous_shard(cookie_id: int, shard_count: int) -> int:
+    """Highest-random-weight owner of ``cookie_id`` among ``shard_count``.
+
+    A pure function of the descriptor id — no probe cookie, no per-call
+    allocation — shared by the in-process pool, the process-shard
+    executor, and provisioning code that steers a descriptor's flows to
+    its box.  Rendezvous keeps (shards-1)/shards of assignments stable
+    when a shard is added or removed.
+    """
+    key = cookie_id.to_bytes(8, "big")
+    best_shard = 0
+    best_weight = -1
+    for index in range(shard_count):
+        digest = hashlib.blake2b(
+            key + index.to_bytes(4, "big"), digest_size=8
+        ).digest()
+        weight = int.from_bytes(digest, "big")
+        if weight > best_weight:
+            best_weight = weight
+            best_shard = index
+    return best_shard
 
 
 @dataclass
@@ -40,6 +68,9 @@ class PoolStats:
     accepted: int = 0
     rejected: int = 0
     double_spends_granted: int = 0  # populated by test harnesses
+    #: Worker processes replaced after a crash (process executor only;
+    #: always 0 for in-process pools).
+    shard_restarts: int = 0
 
 
 class _VerifierPoolBase:
@@ -111,19 +142,19 @@ class ShardedVerifierPool(_VerifierPoolBase):
         # count (one entry per descriptor, bounded by the store).
         self._shard_memo: dict[int, int] = {}
 
+    def _shard_index(self, cookie_id: int) -> int:
+        """Memoized rendezvous assignment — the hash is a pure function
+        of the id, so the memo never goes stale while the shard count is
+        fixed, and both the scalar and batched dispatch consult it."""
+        memo = self._shard_memo
+        shard_index = memo.get(cookie_id)
+        if shard_index is None:
+            shard_index = rendezvous_shard(cookie_id, self.shard_count)
+            memo[cookie_id] = shard_index
+        return shard_index
+
     def shard_for(self, cookie: Cookie) -> int:
-        best_shard = 0
-        best_weight = -1
-        for index in range(self.shard_count):
-            digest = hashlib.blake2b(
-                cookie.cookie_id.to_bytes(8, "big") + index.to_bytes(4, "big"),
-                digest_size=8,
-            ).digest()
-            weight = int.from_bytes(digest, "big")
-            if weight > best_weight:
-                best_weight = weight
-                best_shard = index
-        return best_shard
+        return self._shard_index(cookie.cookie_id)
 
     def match_batch(
         self, cookies: Sequence[Cookie], now: float
@@ -140,17 +171,12 @@ class ShardedVerifierPool(_VerifierPoolBase):
         shard's :class:`~repro.core.matcher.CookieMatcher` amortizes its
         own HMAC/descriptor work via ``match_batch``.
         """
-        memo = self._shard_memo
+        shard_index_for = self._shard_index
         per_shard: dict[int, list[int]] = {}
-        assignments: list[int] = []
         for position, cookie in enumerate(cookies):
-            cookie_id = cookie.cookie_id
-            shard_index = memo.get(cookie_id)
-            if shard_index is None:
-                shard_index = self.shard_for(cookie)
-                memo[cookie_id] = shard_index
-            assignments.append(shard_index)
-            per_shard.setdefault(shard_index, []).append(position)
+            per_shard.setdefault(
+                shard_index_for(cookie.cookie_id), []
+            ).append(position)
         results: list[CookieDescriptor | None] = [None] * len(cookies)
         accepted = 0
         for shard_index, positions in per_shard.items():
@@ -168,14 +194,43 @@ class ShardedVerifierPool(_VerifierPoolBase):
 
     def shard_for_descriptor(self, descriptor: CookieDescriptor) -> int:
         """Where this descriptor's cookies will always land (for
-        provisioning, e.g. steering its flows to that box)."""
-        probe = Cookie(
-            cookie_id=descriptor.cookie_id,
-            uuid=b"\x00" * 16,
-            timestamp=0.0,
-            signature=b"\x00" * 16,
-        )
-        return self.shard_for(probe)
+        provisioning, e.g. steering its flows to that box).  Computed
+        straight from the descriptor id — dispatch never hashes anything
+        but the id, so no probe cookie is needed."""
+        return self._shard_index(descriptor.cookie_id)
+
+    def register_telemetry(self, registry, prefix: str = "pool") -> None:
+        """Export the pool into a :class:`~repro.telemetry.MetricsRegistry`.
+
+        Each shard's :class:`~repro.core.matcher.CookieMatcher` registers
+        under its own collector name but a *shared* metric prefix
+        (``{prefix}.matcher``), so the registry's merge step sums shard
+        counters into pool totals; a pool-level collector adds the
+        dispatcher's own :class:`PoolStats`.  The process-shard executor
+        (:class:`repro.core.parallel.ProcessShardExecutor`) emits the
+        same metric names, so in-process and multi-process deployments
+        are interchangeable under one dashboard.
+        """
+        from ..telemetry import TelemetrySnapshot
+
+        for index, shard in enumerate(self.shards):
+            shard.register_telemetry(
+                registry,
+                prefix=f"{prefix}.matcher",
+                collector_name=f"{prefix}.shard{index}",
+            )
+
+        def collect() -> TelemetrySnapshot:
+            return TelemetrySnapshot(
+                counters={
+                    f"{prefix}.accepted": self.stats.accepted,
+                    f"{prefix}.rejected": self.stats.rejected,
+                    f"{prefix}.shard_restarts": self.stats.shard_restarts,
+                },
+                gauges={f"{prefix}.shards": self.shard_count},
+            )
+
+        registry.register_collector(prefix, collect)
 
 
 class NaiveVerifierPool(_VerifierPoolBase):

@@ -237,10 +237,18 @@ class CookieMatcher:
         if telemetry is not None:
             self.register_telemetry(telemetry, prefix=telemetry_prefix)
 
-    def register_telemetry(self, registry, prefix: str = "matcher") -> None:
+    def register_telemetry(
+        self,
+        registry,
+        prefix: str = "matcher",
+        collector_name: str | None = None,
+    ) -> None:
         """Export :class:`MatchStats` and the replay cache's size/rotation
         levels into a :class:`~repro.telemetry.MetricsRegistry`, as a
-        collector named ``prefix`` (idempotent)."""
+        collector named ``collector_name`` (default: ``prefix``;
+        idempotent).  Passing a distinct ``collector_name`` lets N shard
+        matchers share one metric prefix — the registry sums duplicate
+        metric names across collectors into pool totals."""
         from ..telemetry import TelemetrySnapshot
 
         def collect() -> TelemetrySnapshot:
@@ -261,7 +269,7 @@ class CookieMatcher:
                 },
             )
 
-        registry.register_collector(prefix, collect)
+        registry.register_collector(collector_name or prefix, collect)
 
     def verify(self, cookie: Cookie, now: float) -> CookieDescriptor:
         """Full verification; returns the descriptor or raises."""
@@ -300,7 +308,10 @@ class CookieMatcher:
     # Batched data path
     # ------------------------------------------------------------------
     def match_batch(
-        self, cookies: Sequence[Cookie], now: float
+        self,
+        cookies: Sequence[Cookie],
+        now: float,
+        reasons: list[str] | None = None,
     ) -> list[CookieDescriptor | None]:
         """Verify a batch of cookies observed at one instant.
 
@@ -317,6 +328,11 @@ class CookieMatcher:
           ``copy()`` via :class:`~repro.core.cookie.SignerCache`;
         - the NCT window check and stats/attribute lookups run inside a
           single pass with locals bound once per batch.
+
+        ``reasons``, if given, receives one :class:`MatchStats` field
+        name per cookie (``"accepted"``, ``"replayed"``, ...) — the
+        per-verdict detail the multi-process wire codec packs into its
+        verdict array without a second verification pass.
         """
         store_get = self.store.get
         stats = self.stats
@@ -331,6 +347,7 @@ class CookieMatcher:
         decided: dict[int, tuple[CookieDescriptor | None, str | None]] = {}
         results: list[CookieDescriptor | None] = []
         append = results.append
+        note = reasons.append if reasons is not None else None
         for cookie in cookies:
             cookie_id = cookie.cookie_id
             memo = decided.get(cookie_id)
@@ -349,6 +366,8 @@ class CookieMatcher:
             if descriptor is None:
                 setattr(stats, failure, getattr(stats, failure) + 1)
                 append(None)
+                if note is not None:
+                    note(failure)
                 continue
             expected = sign(
                 descriptor.key, cookie_id, cookie.uuid, cookie.timestamp
@@ -356,17 +375,25 @@ class CookieMatcher:
             if not compare(expected, cookie.signature):
                 stats.bad_signature += 1
                 append(None)
+                if note is not None:
+                    note("bad_signature")
                 continue
             # Same predicate as the scalar path (not a precomputed
             # lo/hi window) so results are bit-identical for any float.
             if abs(cookie.timestamp - now) > nct:
                 stats.stale_timestamp += 1
                 append(None)
+                if note is not None:
+                    note("stale_timestamp")
                 continue
             if check_and_record(cookie.uuid, now):
                 stats.replayed += 1
                 append(None)
+                if note is not None:
+                    note("replayed")
                 continue
             stats.accepted += 1
             append(descriptor)
+            if note is not None:
+                note("accepted")
         return results

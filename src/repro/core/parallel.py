@@ -1,0 +1,641 @@
+"""Multi-core verification data plane (§5's linear core scaling).
+
+The paper's middlebox reaches 20.4 Gb/s on 4 cores because each core
+owns the descriptors whose cookies it verifies (§4.6): replay caches
+stay locally sound, so cores never share state on the hot path.  This
+module reproduces that on CPython, where threads cannot help a
+CPU-bound verifier: each shard of the rendezvous dispatch runs in its
+own **worker process** with a private :class:`~repro.core.matcher.
+CookieMatcher`, replica :class:`~repro.core.store.DescriptorStore`, and
+replay cache.
+
+Two layers:
+
+- a **batch wire codec** — :func:`encode_batch` / :func:`decode_batch`
+  frame a cookie vector as one ``bytes`` blob built on the existing
+  48-byte :meth:`Cookie.to_bytes` form, and :func:`encode_verdicts` /
+  :func:`decode_verdicts` pack the reply as ``(reason code, descriptor
+  id)`` records.  No ``Cookie`` or descriptor **object** ever crosses
+  the process boundary, and nothing is pickled on the hot path: a
+  dispatch is one ``send_bytes`` per shard and one packed verdict array
+  back.
+- a :class:`ProcessShardExecutor` — the multi-process drop-in for
+  :class:`~repro.core.distributed.ShardedVerifierPool`: same
+  ``match`` / ``match_batch`` / ``shard_for`` / telemetry surface, same
+  descriptor-affine rendezvous dispatch, identical verdict semantics
+  (per-shard ordering, replay/NCT rules of PROTOCOL.md §9-§10).
+
+Failure model (PROTOCOL.md §10): a crashed worker is detected at the
+next dispatch (broken pipe / EOF / reply timeout), restarted with a
+**cold replay cache**, re-seeded from the dispatcher's descriptor
+store, and counted in ``PoolStats.shard_restarts`` — the same
+fail-closed trade-off an NFV pool makes when it replaces a dead
+instance: the pool keeps verifying (no deadlock, no dropped dispatch)
+at the cost of one shard's replay window starting empty.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import struct
+from typing import TYPE_CHECKING, Sequence
+
+from .cookie import COOKIE_WIRE_BYTES, Cookie
+from .descriptor import CookieDescriptor
+from .distributed import PoolStats, rendezvous_shard
+from .errors import MalformedCookie
+from .matcher import NETWORK_COHERENCY_TIME, CookieMatcher, MatchStats
+from .store import DescriptorStore
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..telemetry import MetricsRegistry
+
+__all__ = [
+    "encode_batch",
+    "decode_batch",
+    "encode_verdicts",
+    "decode_verdicts",
+    "VERDICT_ACCEPTED",
+    "VERDICT_CODES",
+    "VERDICT_REASONS",
+    "ProcessShardExecutor",
+]
+
+# ----------------------------------------------------------------------
+# Batch wire codec
+# ----------------------------------------------------------------------
+
+_COUNT = struct.Struct("!I")
+
+#: Verdict reason codes, one per :class:`MatchStats` outcome.  Code 0 is
+#: the only accept; everything else names the reject reason, so a verdict
+#: array is also a per-cookie error report.
+VERDICT_REASONS: tuple[str, ...] = (
+    "accepted",
+    "unknown_id",
+    "bad_signature",
+    "stale_timestamp",
+    "replayed",
+    "revoked",
+    "expired",
+)
+VERDICT_CODES: dict[str, int] = {
+    reason: code for code, reason in enumerate(VERDICT_REASONS)
+}
+VERDICT_ACCEPTED = VERDICT_CODES["accepted"]
+
+#: One verdict record: reason code (1) + descriptor id (8, zero unless
+#: accepted — ids, never descriptor objects, cross the wire).
+_VERDICT_RECORD = struct.Struct("!BQ")
+
+
+def encode_batch(cookies: Sequence[Cookie]) -> bytes:
+    """Frame a cookie vector: ``!I`` count + count × 48-byte cookies.
+
+    Built on :meth:`Cookie.to_bytes`, so a frame is exactly what the
+    cookies would occupy on a binary carrier — and cookies that arrived
+    off a wire round-trip bit-identically.
+    """
+    return _COUNT.pack(len(cookies)) + b"".join(
+        cookie.to_bytes() for cookie in cookies
+    )
+
+
+def decode_batch(blob: bytes) -> list[Cookie]:
+    """Inverse of :func:`encode_batch`; raises :class:`MalformedCookie`
+    on a truncated frame, a count/length mismatch, or trailing bytes."""
+    if len(blob) < _COUNT.size:
+        raise MalformedCookie(
+            f"batch frame too short for header: {len(blob)} bytes"
+        )
+    (count,) = _COUNT.unpack_from(blob)
+    body = len(blob) - _COUNT.size
+    if body != count * COOKIE_WIRE_BYTES:
+        raise MalformedCookie(
+            f"batch frame announces {count} cookies "
+            f"({count * COOKIE_WIRE_BYTES} bytes) but carries {body}"
+        )
+    from_bytes = Cookie.from_bytes
+    return [
+        from_bytes(
+            blob[
+                _COUNT.size
+                + index * COOKIE_WIRE_BYTES : _COUNT.size
+                + (index + 1) * COOKIE_WIRE_BYTES
+            ]
+        )
+        for index in range(count)
+    ]
+
+
+def encode_verdicts(verdicts: Sequence[tuple[int, int]]) -> bytes:
+    """Pack ``(reason code, descriptor id)`` records into one blob."""
+    pack = _VERDICT_RECORD.pack
+    out = bytearray(_COUNT.pack(len(verdicts)))
+    for code, descriptor_id in verdicts:
+        if not 0 <= code < len(VERDICT_REASONS):
+            raise MalformedCookie(f"verdict code {code} out of range")
+        out += pack(code, descriptor_id)
+    return bytes(out)
+
+
+def decode_verdicts(blob: bytes) -> list[tuple[int, int]]:
+    """Inverse of :func:`encode_verdicts`; raises
+    :class:`MalformedCookie` on truncation, length mismatch, or an
+    unknown reason code."""
+    if len(blob) < _COUNT.size:
+        raise MalformedCookie(
+            f"verdict frame too short for header: {len(blob)} bytes"
+        )
+    (count,) = _COUNT.unpack_from(blob)
+    body = len(blob) - _COUNT.size
+    if body != count * _VERDICT_RECORD.size:
+        raise MalformedCookie(
+            f"verdict frame announces {count} verdicts "
+            f"({count * _VERDICT_RECORD.size} bytes) but carries {body}"
+        )
+    unpack_from = _VERDICT_RECORD.unpack_from
+    verdicts = []
+    for index in range(count):
+        code, descriptor_id = unpack_from(
+            blob, _COUNT.size + index * _VERDICT_RECORD.size
+        )
+        if code >= len(VERDICT_REASONS):
+            raise MalformedCookie(f"unknown verdict code {code}")
+        verdicts.append((code, descriptor_id))
+    return verdicts
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+# One-byte opcodes; every frame starts with one.
+_OP_BATCH = b"B"  # + !d now + batch frame        -> verdict frame
+_OP_DELTA = b"D"  # + JSON delta ops              -> b"\x01" ack
+_OP_STATS = b"S"  #                               -> JSON stats
+_OP_QUIT = b"Q"   #                               -> b"\x01" ack, exit
+
+_NOW = struct.Struct("!d")
+
+
+def _worker_main(conn, nct: float, seed_json: str) -> None:
+    """Verifier shard loop: one matcher over a replica store.
+
+    The replica is seeded from JSON at start (control plane — the hot
+    path never serializes descriptors) and updated by delta frames.
+    Any malformed frame terminates the worker: the dispatcher treats
+    that as a crash and restarts the shard — failing closed beats
+    verifying against a state we no longer trust.
+    """
+    store = DescriptorStore()
+    for data in json.loads(seed_json):
+        store.add(CookieDescriptor.from_json(data))
+    matcher = CookieMatcher(store, nct=nct)
+    codes = VERDICT_CODES
+    accepted_code = VERDICT_ACCEPTED
+    try:
+        while True:
+            try:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            op = frame[:1]
+            if op == _OP_BATCH:
+                (now,) = _NOW.unpack_from(frame, 1)
+                cookies = decode_batch(frame[1 + _NOW.size :])
+                reasons: list[str] = []
+                matcher.match_batch(cookies, now, reasons=reasons)
+                conn.send_bytes(
+                    encode_verdicts(
+                        [
+                            (
+                                codes[reason],
+                                cookie.cookie_id
+                                if codes[reason] == accepted_code
+                                else 0,
+                            )
+                            for reason, cookie in zip(reasons, cookies)
+                        ]
+                    )
+                )
+            elif op == _OP_DELTA:
+                for delta in json.loads(frame[1:].decode("utf-8")):
+                    action = delta["op"]
+                    if action == "add":
+                        store.add(
+                            CookieDescriptor.from_json(delta["descriptor"])
+                        )
+                    elif action == "revoke":
+                        store.revoke(int(delta["cookie_id"]))
+                    elif action == "remove":
+                        store.remove(int(delta["cookie_id"]))
+                    else:
+                        raise MalformedCookie(f"unknown delta op {action!r}")
+                conn.send_bytes(b"\x01")
+            elif op == _OP_STATS:
+                cache = matcher.replay_cache
+                conn.send_bytes(
+                    json.dumps(
+                        {
+                            "match": matcher.stats.as_dict(),
+                            "replay_cache": {
+                                "rotations": cache.rotations,
+                                "idle_resets": cache.idle_resets,
+                                "size": cache.size,
+                            },
+                        }
+                    ).encode("utf-8")
+                )
+            elif op == _OP_QUIT:
+                conn.send_bytes(b"\x01")
+                break
+            else:
+                raise MalformedCookie(f"unknown opcode {op!r}")
+    except MalformedCookie:
+        pass  # exit; the dispatcher restarts the shard fail-closed
+    finally:
+        conn.close()
+
+
+def _zero_worker_stats() -> dict:
+    return {
+        "match": MatchStats().as_dict(),
+        "replay_cache": {"rotations": 0, "idle_resets": 0, "size": 0},
+    }
+
+
+def _sum_worker_stats(snapshots: Sequence[dict]) -> dict:
+    total = _zero_worker_stats()
+    for snapshot in snapshots:
+        for key, value in snapshot["match"].items():
+            total["match"][key] += value
+        for key, value in snapshot["replay_cache"].items():
+            total["replay_cache"][key] += value
+    return total
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+
+class ProcessShardExecutor:
+    """N verifier shards, each in its own process, behind the rendezvous
+    dispatcher — the multi-process form of :class:`ShardedVerifierPool`.
+
+    Semantics match the in-process pool exactly on healthy runs: the
+    same cookie stream yields identical verdicts, identical per-shard
+    :class:`MatchStats`, identical merged telemetry (the differential
+    suite in ``tests/core/test_parallel_differential.py`` pins this).
+    The speedup comes from real parallelism: one ``match_batch`` fans
+    sub-batches out to every involved worker before collecting any
+    reply, so shards verify concurrently on separate cores.
+
+    Descriptors: the executor snapshots ``store`` into each worker at
+    spawn and replays control-plane changes via :meth:`add_descriptor` /
+    :meth:`revoke_descriptor` / :meth:`remove_descriptor` (delta push to
+    all workers, so revocation takes effect pool-wide).  Mutating the
+    store behind the executor's back leaves worker replicas stale —
+    route descriptor changes through the executor.
+
+    Crash handling: a dead worker is detected at the next dispatch or
+    stats poll, restarted cold, and counted in ``stats.shard_restarts``;
+    the in-flight sub-batch is re-dispatched to the fresh worker, so the
+    call completes rather than hanging (see module docstring for the
+    replay-window trade-off).
+
+    Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        store: DescriptorStore,
+        workers: int,
+        nct: float = NETWORK_COHERENCY_TIME,
+        *,
+        reply_timeout: float = 30.0,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if reply_timeout <= 0:
+            raise ValueError("reply timeout must be positive")
+        self.store = store
+        self.nct = nct
+        self.reply_timeout = reply_timeout
+        self.stats = PoolStats()
+        if start_method is None:
+            # fork is milliseconds; spawn is the portable fallback.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._worker_count = workers
+        self._conns: list = [None] * workers
+        self._procs: list = [None] * workers
+        # Stats carried over from crashed workers (last successful poll)
+        # so merged counters stay monotonic across restarts.
+        self._retired_stats = _zero_worker_stats()
+        self._last_polled = [_zero_worker_stats() for _ in range(workers)]
+        self._shard_memo: dict[int, int] = {}
+        self._closed = False
+        for index in range(workers):
+            self._spawn(index)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> None:
+        seed = json.dumps([d.to_json() for d in self.store])
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.nct, seed),
+            name=f"cookie-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._conns[index] = parent_conn
+        self._procs[index] = process
+        self._last_polled[index] = _zero_worker_stats()
+
+    def _restart(self, index: int) -> None:
+        """Replace a dead (or wedged) worker with a cold one."""
+        conn, process = self._conns[index], self._procs[index]
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - terminate ignored
+            process.kill()
+            process.join(timeout=5.0)
+        # Keep whatever the dead worker last reported; everything it
+        # counted since that poll is lost with it (documented in §10).
+        self._retired_stats = _sum_worker_stats(
+            [self._retired_stats, self._last_polled[index]]
+        )
+        self._spawn(index)
+        self.stats.shard_restarts += 1
+
+    def restart_shard(self, index: int) -> None:
+        """Operator-initiated shard replacement (cold replay cache)."""
+        self._restart(index)
+
+    def worker_process(self, index: int):
+        """The shard's :class:`multiprocessing.Process` (tests, ops)."""
+        return self._procs[index]
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send_bytes(_OP_QUIT)
+                if conn.poll(1.0):
+                    conn.recv_bytes()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        for process in self._procs:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return self._worker_count
+
+    def _shard_index(self, cookie_id: int) -> int:
+        memo = self._shard_memo
+        shard_index = memo.get(cookie_id)
+        if shard_index is None:
+            shard_index = rendezvous_shard(cookie_id, self._worker_count)
+            memo[cookie_id] = shard_index
+        return shard_index
+
+    def shard_for(self, cookie: Cookie) -> int:
+        """Same memoized rendezvous assignment as the in-process pool."""
+        return self._shard_index(cookie.cookie_id)
+
+    def shard_for_descriptor(self, descriptor: CookieDescriptor) -> int:
+        return self._shard_index(descriptor.cookie_id)
+
+    def _roundtrip(self, index: int, frame: bytes) -> bytes:
+        """Send one frame and wait for the reply, bounded by the
+        timeout; raises on a dead or unresponsive worker."""
+        conn = self._conns[index]
+        conn.send_bytes(frame)
+        if not conn.poll(self.reply_timeout):
+            raise TimeoutError(
+                f"shard {index} gave no reply within {self.reply_timeout}s"
+            )
+        return conn.recv_bytes()
+
+    def match(self, cookie: Cookie, now: float) -> CookieDescriptor | None:
+        """Scalar verification — a batch of one through the same wire."""
+        return self.match_batch([cookie], now)[0]
+
+    def match_batch(
+        self, cookies: Sequence[Cookie], now: float
+    ) -> list[CookieDescriptor | None]:
+        """Batched dispatch across worker processes.
+
+        Cookies group per shard by memoized rendezvous assignment,
+        preserving relative order within each shard's sub-batch (the
+        only order replay detection can depend on — all cookies of a
+        descriptor land on one shard).  All sub-batches are *sent*
+        before any reply is *collected*, so workers verify in parallel.
+        A shard that dies mid-dispatch is restarted and its sub-batch
+        re-dispatched once; a second failure raises.
+        """
+        if not cookies:
+            return []
+        shard_index_for = self._shard_index
+        per_shard: dict[int, list[int]] = {}
+        for position, cookie in enumerate(cookies):
+            per_shard.setdefault(
+                shard_index_for(cookie.cookie_id), []
+            ).append(position)
+        frames = {
+            shard: _OP_BATCH
+            + _NOW.pack(now)
+            + encode_batch([cookies[position] for position in positions])
+            for shard, positions in per_shard.items()
+        }
+        # Fan out: send every sub-batch before collecting any reply.
+        failed: list[int] = []
+        for shard, frame in frames.items():
+            try:
+                self._conns[shard].send_bytes(frame)
+            except (OSError, BrokenPipeError, ValueError):
+                failed.append(shard)
+        # Collect.
+        replies: dict[int, bytes] = {}
+        for shard in frames:
+            if shard in failed:
+                continue
+            try:
+                conn = self._conns[shard]
+                if not conn.poll(self.reply_timeout):
+                    raise TimeoutError
+                replies[shard] = conn.recv_bytes()
+            except (OSError, EOFError, TimeoutError):
+                failed.append(shard)
+        # Recover: restart each failed shard, re-dispatch synchronously.
+        for shard in failed:
+            self._restart(shard)
+            replies[shard] = self._roundtrip(shard, frames[shard])
+        # Resolve descriptor ids against the dispatcher's own store —
+        # descriptor objects never cross the process boundary.
+        results: list[CookieDescriptor | None] = [None] * len(cookies)
+        store_get = self.store.get
+        accepted = 0
+        for shard, positions in per_shard.items():
+            verdicts = decode_verdicts(replies[shard])
+            if len(verdicts) != len(positions):
+                raise MalformedCookie(
+                    f"shard {shard} returned {len(verdicts)} verdicts "
+                    f"for {len(positions)} cookies"
+                )
+            for position, (code, descriptor_id) in zip(positions, verdicts):
+                if code == VERDICT_ACCEPTED:
+                    descriptor = store_get(descriptor_id)
+                    if descriptor is not None:
+                        results[position] = descriptor
+                        accepted += 1
+                    # else: removed from the dispatcher's store since
+                    # dispatch — fail closed, count as rejected.
+        self.stats.accepted += accepted
+        self.stats.rejected += len(cookies) - accepted
+        return results
+
+    # ------------------------------------------------------------------
+    # Descriptor deltas (control plane)
+    # ------------------------------------------------------------------
+    def _push_delta(self, ops: list[dict]) -> None:
+        frame = _OP_DELTA + json.dumps(ops).encode("utf-8")
+        for index in range(self._worker_count):
+            try:
+                reply = self._roundtrip(index, frame)
+            except (OSError, EOFError, TimeoutError, BrokenPipeError):
+                # The restart re-seeds from the already-updated store,
+                # so the delta is applied either way.
+                self._restart(index)
+                continue
+            if reply != b"\x01":  # pragma: no cover - defensive
+                raise MalformedCookie(
+                    f"shard {index} rejected descriptor delta"
+                )
+
+    def add_descriptor(self, descriptor: CookieDescriptor) -> CookieDescriptor:
+        """Insert/replace in the dispatcher store and every replica."""
+        self.store.add(descriptor)
+        self._push_delta([{"op": "add", "descriptor": descriptor.to_json()}])
+        return descriptor
+
+    def revoke_descriptor(self, cookie_id: int) -> bool:
+        """Revoke pool-wide; False if the id is unknown locally."""
+        known = self.store.revoke(cookie_id)
+        self._push_delta([{"op": "revoke", "cookie_id": cookie_id}])
+        return known
+
+    def remove_descriptor(self, cookie_id: int) -> CookieDescriptor | None:
+        """Delete pool-wide (stronger than revocation)."""
+        removed = self.store.remove(cookie_id)
+        self._push_delta([{"op": "remove", "cookie_id": cookie_id}])
+        return removed
+
+    # ------------------------------------------------------------------
+    # Stats and telemetry
+    # ------------------------------------------------------------------
+    def collect_worker_stats(self) -> list[dict]:
+        """Poll every worker's stats snapshot on demand.
+
+        A worker that fails to answer is restarted (counted in
+        ``shard_restarts``) and reports its last successful poll, so
+        the collection itself can never hang the caller.
+        """
+        snapshots: list[dict] = []
+        for index in range(self._worker_count):
+            try:
+                reply = self._roundtrip(index, _OP_STATS)
+                snapshot = json.loads(reply.decode("utf-8"))
+            except (OSError, EOFError, TimeoutError, BrokenPipeError,
+                    ValueError):
+                snapshot = self._last_polled[index]
+                self._restart(index)
+                snapshots.append(snapshot)
+                continue
+            self._last_polled[index] = snapshot
+            snapshots.append(snapshot)
+        return snapshots
+
+    def collect_match_stats(self) -> MatchStats:
+        """Merged :class:`MatchStats` across live workers and any stats
+        retired by crashes — comparable to summing the in-process pool's
+        per-shard matcher stats."""
+        total = _sum_worker_stats(
+            [self._retired_stats] + self.collect_worker_stats()
+        )
+        return MatchStats(**total["match"])
+
+    def register_telemetry(
+        self, registry: "MetricsRegistry", prefix: str = "pool"
+    ) -> None:
+        """Register a collector that polls workers at snapshot time.
+
+        Emits the same metric names as
+        :meth:`ShardedVerifierPool.register_telemetry`, so dashboards
+        and the differential suite see in-process and multi-process
+        pools identically.
+        """
+        from ..telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            total = _sum_worker_stats(
+                [self._retired_stats] + self.collect_worker_stats()
+            )
+            counters = {
+                f"{prefix}.matcher.{outcome}": count
+                for outcome, count in total["match"].items()
+            }
+            counters[f"{prefix}.matcher.replay_cache.rotations"] = (
+                total["replay_cache"]["rotations"]
+            )
+            counters[f"{prefix}.matcher.replay_cache.idle_resets"] = (
+                total["replay_cache"]["idle_resets"]
+            )
+            counters[f"{prefix}.accepted"] = self.stats.accepted
+            counters[f"{prefix}.rejected"] = self.stats.rejected
+            counters[f"{prefix}.shard_restarts"] = self.stats.shard_restarts
+            return TelemetrySnapshot(
+                counters=counters,
+                gauges={
+                    f"{prefix}.matcher.replay_cache.size": (
+                        total["replay_cache"]["size"]
+                    ),
+                    f"{prefix}.shards": self._worker_count,
+                },
+            )
+
+        registry.register_collector(prefix, collect)

@@ -9,6 +9,7 @@ fig5b_fct         Fig. 5(b) flow completion time under Boost
 fig6_accuracy     Fig. 6 matching accuracy (cookies/nDPI/OOB)
 sec3_dpi          §3 DPI-limitation measurements
 sec46_campus      §4.6 campus-trace replay
+scaleout          §5 multi-core verification scale-out
 ================  ==============================================
 
 Fig. 1 and Fig. 2 live in :mod:`repro.study` (BoostStudy /
@@ -33,6 +34,12 @@ from .fig6_accuracy import (
     run_cookies,
     run_ndpi,
     run_oob,
+)
+from .scaleout import (
+    DEFAULT_WORKER_COUNTS,
+    build_verification_stream,
+    format_scaleout_report,
+    run_scaleout,
 )
 from .sec3_dpi import Sec3Result, run_sec3
 from .sec46_campus import Sec46Result, run_sec46
@@ -60,4 +67,8 @@ __all__ = [
     "run_sec3",
     "Sec46Result",
     "run_sec46",
+    "DEFAULT_WORKER_COUNTS",
+    "build_verification_stream",
+    "format_scaleout_report",
+    "run_scaleout",
 ]

@@ -335,7 +335,12 @@ class BatchDriver:
     from ``source`` and delivers them with one :meth:`Element.push_batch`
     call, so downstream batched elements see genuine per-tick bursts.
     ``source`` is any packet iterable/iterator; the driver stops (and
-    records :attr:`done`) when it is exhausted.
+    records :attr:`done`) when it is exhausted.  ``on_done``, if given,
+    fires exactly once at that point, after the final (possibly partial)
+    batch was pushed — the hook a harness uses to collect a verifier
+    pool's worker telemetry or shut a
+    :class:`~repro.core.parallel.ProcessShardExecutor` down when the
+    offered stream drains.
     """
 
     def __init__(
@@ -345,6 +350,7 @@ class BatchDriver:
         target: Element,
         batch_size: int = 64,
         tick: float = 0.001,
+        on_done: Callable[[], None] | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -355,6 +361,7 @@ class BatchDriver:
         self.target = target
         self.batch_size = batch_size
         self.tick = tick
+        self.on_done = on_done
         self.batches_fed = 0
         self.packets_fed = 0
         self.done = False
@@ -379,3 +386,6 @@ class BatchDriver:
             self.target.push_batch(batch)
         if not self.done:
             self.loop.schedule(self.tick, self._tick)
+        elif self.on_done is not None:
+            callback, self.on_done = self.on_done, None
+            callback()

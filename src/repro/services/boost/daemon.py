@@ -47,10 +47,15 @@ class BoostDaemon:
         sniff_packets: int = 3,
         telemetry=None,
         telemetry_prefix: str = "boost",
+        verifier: "CookieMatcher | None" = None,
     ) -> None:
         self.loop = loop
         self.store = store
-        self.matcher = CookieMatcher(store)
+        # ``verifier`` lets a deployment swap the embedded single-core
+        # matcher for a pool (ShardedVerifierPool / ProcessShardExecutor
+        # over the same store) — anything exposing ``match`` and
+        # ``register_telemetry`` drops in.
+        self.matcher = verifier if verifier is not None else CookieMatcher(store)
         self.switch = CookieSwitch(
             self.matcher,
             loop=loop,

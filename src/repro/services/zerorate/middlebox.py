@@ -34,6 +34,8 @@ from ...netsim.middlebox import Element
 from ...netsim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ...core.distributed import ShardedVerifierPool
+    from ...core.parallel import ProcessShardExecutor
     from ...telemetry import MetricsRegistry
 
 __all__ = [
@@ -114,11 +116,19 @@ class ZeroRatingMiddlebox(Element):
     is dropped so accounting can flush it.  ``telemetry`` (a
     :class:`~repro.telemetry.MetricsRegistry`) registers a collector
     exporting every counter below under the given prefix.
+
+    ``matcher`` is any verifier exposing ``match(cookie, now)`` — a
+    :class:`~repro.core.matcher.CookieMatcher` for a single-box deploy, or
+    a pool (:class:`~repro.core.distributed.ShardedVerifierPool` /
+    :class:`~repro.core.parallel.ProcessShardExecutor`) when verification
+    is scaled out behind one middlebox front-end.
     """
 
     def __init__(
         self,
-        matcher: CookieMatcher,
+        matcher: (
+            "CookieMatcher | ShardedVerifierPool | ProcessShardExecutor"
+        ),
         clock: Callable[[], float],
         registry: TransportRegistry | None = None,
         is_subscriber: Callable[[str], bool] | None = None,

@@ -1,0 +1,273 @@
+"""Differential tests: the multi-process executor against the in-process
+pool and the scalar matcher.
+
+Same discipline as ``test_batch_differential``: one adversarial cookie
+stream (replays, NCT-straddling timestamps, forged signatures, unknown /
+revoked / expired descriptors) is driven through three verifiers built
+over equivalent stores, and the :class:`ProcessShardExecutor` must be
+observationally identical to the in-process
+:class:`ShardedVerifierPool` — verdicts by position (the *same*
+descriptor objects, resolved from the dispatcher's store),
+:class:`PoolStats`, merged per-shard :class:`MatchStats`, and telemetry
+snapshots.  On top of the healthy-path equivalence, the failure model of
+PROTOCOL.md §10 is pinned directly: a killed worker restarts cold
+without deadlocking a dispatch, ``shard_restarts`` counts it, the
+restarted shard's replay window provably starts empty, and descriptor
+deltas reach every worker.
+"""
+
+import os
+import signal
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.distributed import ShardedVerifierPool
+from repro.core.matcher import CookieMatcher
+from repro.core.parallel import ProcessShardExecutor
+from repro.telemetry import MetricsRegistry
+
+from .test_batch_differential import NOW, _Env, _materialize, _signed, _uuid, batch_specs
+
+WORKERS = 2
+#: Each example forks WORKERS processes; keep the example budget modest.
+EXAMPLES = 12
+
+
+def _shard_stats(pool: ShardedVerifierPool) -> dict:
+    merged: dict = {}
+    for shard in pool.shards:
+        for key, value in shard.stats.as_dict().items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+class TestExecutorDifferential:
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(specs=batch_specs())
+    def test_batch_verdicts_equal_in_process_and_scalar(self, specs):
+        env = _Env()
+        cookies = _materialize(env, specs)
+        scalar = CookieMatcher(env.store)
+        pool = ShardedVerifierPool(env.store, shards=WORKERS)
+        scalar_verdicts = [scalar.match(c, NOW) for c in cookies]
+        pool_verdicts = pool.match_batch(cookies, NOW)
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            executor_verdicts = executor.match_batch(cookies, NOW)
+        # Accepted verdicts resolve against the dispatcher's own store,
+        # so equality here is object identity with the scalar path.
+        assert executor_verdicts == pool_verdicts == scalar_verdicts
+
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(specs=batch_specs())
+    def test_pool_stats_and_match_stats_equal_in_process(self, specs):
+        env = _Env()
+        cookies = _materialize(env, specs)
+        pool = ShardedVerifierPool(env.store, shards=WORKERS)
+        pool.match_batch(cookies, NOW)
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            executor.match_batch(cookies, NOW)
+            assert (
+                executor.stats.accepted,
+                executor.stats.rejected,
+                executor.stats.shard_restarts,
+            ) == (pool.stats.accepted, pool.stats.rejected, 0)
+            # Per-worker matcher stats, merged, equal the in-process
+            # pool's merged per-shard stats: affinity routed the same
+            # cookies to the same shard indices.
+            assert executor.collect_match_stats().as_dict() == _shard_stats(
+                pool
+            )
+
+    @settings(max_examples=EXAMPLES, deadline=None)
+    @given(specs=batch_specs())
+    def test_merged_telemetry_equal_in_process(self, specs):
+        env = _Env()
+        cookies = _materialize(env, specs)
+        pool = ShardedVerifierPool(env.store, shards=WORKERS)
+        pool.match_batch(cookies, NOW)
+        pool_registry = MetricsRegistry()
+        pool.register_telemetry(pool_registry, prefix="pool")
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            executor.match_batch(cookies, NOW)
+            executor_registry = MetricsRegistry()
+            executor.register_telemetry(executor_registry, prefix="pool")
+            executor_snapshot = executor_registry.snapshot()
+        pool_snapshot = pool_registry.snapshot()
+        assert executor_snapshot.counters == pool_snapshot.counters
+        assert executor_snapshot.gauges == pool_snapshot.gauges
+
+    @settings(max_examples=8, deadline=None)
+    @given(specs=batch_specs(max_size=12))
+    def test_scalar_match_equals_in_process(self, specs):
+        """The executor's ``match`` (a batch of one over the same wire)
+        agrees with the in-process pool cookie by cookie — including
+        replay rejections that depend on all earlier calls."""
+        env = _Env()
+        cookies = _materialize(env, specs)
+        pool = ShardedVerifierPool(env.store, shards=WORKERS)
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            for cookie in cookies:
+                assert executor.match(cookie, NOW) == pool.match(cookie, NOW)
+            assert executor.shard_count == pool.shard_count
+            for cookie in cookies:
+                assert executor.shard_for(cookie) == pool.shard_for(cookie)
+
+    def test_empty_batch(self):
+        env = _Env()
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            assert executor.match_batch([], NOW) == []
+            assert executor.stats.accepted == executor.stats.rejected == 0
+
+
+class TestWorkerFailureModel:
+    def test_kill_worker_mid_run_restarts_and_completes(self):
+        """The acceptance scenario: SIGKILL a worker between dispatches;
+        the next batch touching its shard must complete (no deadlock),
+        restart the shard, count it, and still verify every cookie."""
+        env = _Env()
+        descriptor = env.active[0]
+        with ProcessShardExecutor(
+            env.store, workers=WORKERS, reply_timeout=10.0
+        ) as executor:
+            warmup = _signed(descriptor, _uuid(1), NOW)
+            assert executor.match(warmup, NOW) is descriptor
+            victim = executor.shard_for(warmup)
+            os.kill(executor.worker_process(victim).pid, signal.SIGKILL)
+            executor.worker_process(victim).join(timeout=5.0)
+
+            batch = [
+                _signed(env.active[i % len(env.active)], _uuid(100 + i), NOW)
+                for i in range(32)
+            ]
+            verdicts = executor.match_batch(batch, NOW)
+            assert all(v is not None for v in verdicts)
+            assert executor.stats.shard_restarts == 1
+            assert executor.stats.accepted == 1 + len(batch)
+            # The pool keeps working after recovery.
+            assert executor.match(
+                _signed(descriptor, _uuid(999), NOW), NOW
+            ) is descriptor
+
+    def test_replayed_uuid_across_worker_restart(self):
+        """The documented trade-off, pinned from both sides: before a
+        restart the shard rejects a replay; after a restart the cold
+        cache accepts the same uuid once more (PROTOCOL.md §10's
+        replay-window gap), then rejects it again."""
+        env = _Env()
+        descriptor = env.active[0]
+        cookie = _signed(descriptor, _uuid(7), NOW)
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            assert executor.match(cookie, NOW) is descriptor
+            assert executor.match(cookie, NOW + 1.0) is None  # replayed
+            executor.restart_shard(executor.shard_for(cookie))
+            assert executor.stats.shard_restarts == 1
+            # Cold cache: the uuid's record died with the old worker.
+            assert executor.match(cookie, NOW + 2.0) is descriptor
+            assert executor.match(cookie, NOW + 3.0) is None
+
+    def test_stats_survive_restart_up_to_last_poll(self):
+        """Counters polled before a crash are retired, not lost; the
+        merged view stays monotonic across the restart."""
+        env = _Env()
+        descriptor = env.active[0]
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            cookie = _signed(descriptor, _uuid(11), NOW)
+            assert executor.match(cookie, NOW) is descriptor
+            assert executor.collect_match_stats().accepted == 1  # polls
+            victim = executor.shard_for(cookie)
+            os.kill(executor.worker_process(victim).pid, signal.SIGKILL)
+            executor.worker_process(victim).join(timeout=5.0)
+            merged = executor.collect_match_stats()
+            assert merged.accepted == 1  # retired from the last poll
+            assert executor.stats.shard_restarts == 1
+
+    def test_restart_counter_in_telemetry(self):
+        env = _Env()
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            registry = MetricsRegistry()
+            executor.register_telemetry(registry, prefix="pool")
+            executor.restart_shard(0)
+            snapshot = registry.snapshot()
+            assert snapshot.counters["pool.shard_restarts"] == 1
+            assert snapshot.gauges["pool.shards"] == WORKERS
+
+    def test_close_is_idempotent(self):
+        env = _Env()
+        executor = ProcessShardExecutor(env.store, workers=WORKERS)
+        executor.close()
+        executor.close()
+        for index in range(WORKERS):
+            assert not executor.worker_process(index).is_alive()
+
+
+class TestDescriptorDeltas:
+    def test_add_descriptor_reaches_every_worker(self):
+        from repro.core.descriptor import CookieDescriptor
+
+        env = _Env()
+        with ProcessShardExecutor(env.store, workers=3) as executor:
+            added = [
+                executor.add_descriptor(
+                    CookieDescriptor.create(service_data=f"late-{i}")
+                )
+                for i in range(8)
+            ]
+            # 8 fresh ids across 3 shards: every worker verifies its own.
+            for i, descriptor in enumerate(added):
+                cookie = _signed(descriptor, _uuid(50 + i), NOW)
+                assert executor.match(cookie, NOW) is descriptor
+
+    def test_revocation_takes_effect_pool_wide(self):
+        env = _Env()
+        descriptor = env.active[2]
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            before = _signed(descriptor, _uuid(60), NOW)
+            assert executor.match(before, NOW) is descriptor
+            assert executor.revoke_descriptor(descriptor.cookie_id)
+            after = _signed(descriptor, _uuid(61), NOW)
+            assert executor.match(after, NOW) is None
+            assert executor.collect_match_stats().revoked == 1
+
+    def test_remove_descriptor_pool_wide(self):
+        env = _Env()
+        descriptor = env.active[3]
+        with ProcessShardExecutor(env.store, workers=WORKERS) as executor:
+            removed = executor.remove_descriptor(descriptor.cookie_id)
+            assert removed is descriptor
+            cookie = _signed(descriptor, _uuid(70), NOW)
+            assert executor.match(cookie, NOW) is None
+            assert executor.collect_match_stats().unknown_id == 1
+
+    @settings(max_examples=6, deadline=None)
+    @given(specs=batch_specs(max_size=10), shards=st.integers(1, 3))
+    def test_delta_then_batch_equals_in_process(self, specs, shards):
+        """A store mutated through the executor mid-stream stays
+        equivalent to an in-process pool over an identically mutated
+        store."""
+        from repro.core.descriptor import CookieDescriptor
+
+        pool_env = _Env()
+        executor_env = _Env()
+        cookies_pool = _materialize(pool_env, specs)
+        cookies_executor = _materialize(executor_env, specs)
+        pool = ShardedVerifierPool(pool_env.store, shards=shards)
+        with ProcessShardExecutor(
+            executor_env.store, workers=shards
+        ) as executor:
+            pool_verdicts = pool.match_batch(cookies_pool, NOW)
+            executor_verdicts = executor.match_batch(cookies_executor, NOW)
+            assert [v is not None for v in executor_verdicts] == [
+                v is not None for v in pool_verdicts
+            ]
+            executor.revoke_descriptor(executor_env.active[0].cookie_id)
+            pool_env.active[0].revoke()
+            probe_pool = _signed(pool_env.active[0], _uuid(90), NOW)
+            probe_executor = _signed(executor_env.active[0], _uuid(90), NOW)
+            assert pool.match(probe_pool, NOW) is None
+            assert executor.match(probe_executor, NOW) is None
+            late = CookieDescriptor.create(service_data="late")
+            executor.add_descriptor(late)
+            assert executor.match(
+                _signed(late, _uuid(91), NOW), NOW
+            ) is late

@@ -152,6 +152,32 @@ class TestBatchDriver:
         # One burst per tick: the last burst fires two ticks in.
         assert loop.now >= 1.0
 
+    def test_on_done_fires_once_after_final_batch(self):
+        loop = EventLoop()
+        sink = Sink()
+        events = []
+        driver = BatchDriver(
+            loop,
+            _packets(5),
+            sink,
+            batch_size=2,
+            on_done=lambda: events.append(sink.count),
+        ).start()
+        loop.run_until_idle()
+        assert driver.done
+        # Fired exactly once, after the final (partial) batch was pushed.
+        assert events == [5]
+        assert driver.on_done is None
+
+    def test_on_done_fires_for_empty_source(self):
+        loop = EventLoop()
+        fired = []
+        BatchDriver(
+            loop, [], Sink(), batch_size=4, on_done=lambda: fired.append(True)
+        ).start()
+        loop.run_until_idle()
+        assert fired == [True]
+
     def test_empty_source_stops_immediately(self):
         loop = EventLoop()
         sink = Sink()
