@@ -125,6 +125,48 @@ def _cmd_stats(args) -> None:
         print(snapshot.format_text())
 
 
+def _cmd_chaos(args) -> None:
+    """Fault-injection soak + outage and shard-kill drills."""
+    from repro.experiments import ChaosConfig, run_chaos
+
+    config = ChaosConfig(seed=args.seed, homes=args.homes,
+                         duration_s=args.duration)
+    report = run_chaos(config)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"chaos soak — seed {config.seed}, {config.homes} homes, "
+              f"{config.duration_s:.0f}s, all fault classes at "
+              f"{config.drop_rate:.0%}")
+        for key, value in report.summary().items():
+            print(f"  {key}: {value}")
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation.splitlines()[0]}")
+
+    if not args.skip_drills:
+        from repro.experiments import run_outage_drill, run_pool_kill_drill
+
+        for mode in ("fail-open", "fail-closed"):
+            drill = run_outage_drill(mode, seed=args.seed)
+            print(f"\noutage drill ({mode}) — 30s control-plane outage")
+            print(f"  boost before/during/after: "
+                  f"{drill['before_outage']['boost_active']}/"
+                  f"{drill['during_outage']['boost_active']}/"
+                  f"{drill['after_recovery']['boost_active']}")
+            print(f"  breaker opened {drill['breaker_opened']}x, "
+                  f"{drill['grace_signings']} grace signings, "
+                  f"{drill['rejected_open']} calls shed while open")
+        kill = run_pool_kill_drill(seed=args.seed)
+        print("\npool kill drill — SIGKILL a verifier shard until fallback")
+        print(f"  kills {kill['kills']}, restarts {kill['restarts']}, "
+              f"fallbacks {kill['fallbacks']} "
+              f"(shards {kill['fallback_shards']}), "
+              f"short verdict arrays {kill['short_verdict_arrays']}")
+
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _cmd_scaleout(args) -> None:
     """Multi-core verification: in-process vs 1/2/4 worker processes."""
     from repro.experiments import format_scaleout_report, run_scaleout
@@ -196,7 +238,10 @@ def run_stats_workload(
     transports = default_registry()
     replay_cookie = None
     for i in range(flows):
-        clock_now = i * 0.05  # ~20 new flows per simulated second
+        # ~10 new flows per simulated second: the default 120-flow run
+        # spans 12 s, past the replay cache's 2×NCT (10 s) window, so
+        # the rotation counters are exercised.
+        clock_now = i * 0.1
         sport = 20000 + i
         subscriber = f"10.0.{(i >> 8) & 255}.{i & 255}"
         first = make_tcp_packet(subscriber, sport, "93.184.216.34", 443,
@@ -249,6 +294,7 @@ COMMANDS = {
     "sec46": _cmd_sec46,
     "stats": _cmd_stats,
     "scaleout": _cmd_scaleout,
+    "chaos": _cmd_chaos,
 }
 
 
@@ -291,6 +337,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker counts to measure (default: 1 2 4)")
     scaleout.add_argument("--cookies", type=int, default=24_000)
     scaleout.add_argument("--rounds", type=int, default=3)
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection soak + outage and shard-kill drills",
+    )
+    chaos.add_argument("--seed", type=int, default=20160822,
+                       help="PRNG seed; a run replays bit-identically")
+    chaos.add_argument("--homes", type=int, default=8)
+    chaos.add_argument("--duration", type=float, default=60.0,
+                       help="simulated seconds of traffic")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full soak report as JSON")
+    chaos.add_argument("--skip-drills", action="store_true",
+                       help="soak only; skip outage and pool-kill drills")
     return parser
 
 

@@ -48,6 +48,7 @@ from .discovery import (
 )
 from .errors import (
     AcquisitionDenied,
+    ChannelUnavailable,
     CookieError,
     DelegationError,
     DescriptorExpired,
@@ -60,6 +61,11 @@ from .errors import (
     UnknownDescriptor,
 )
 from .generator import CookieGenerator
+from .resilience import (
+    CircuitBreaker,
+    ResilientChannel,
+    RetryPolicy,
+)
 from .matcher import (
     NETWORK_COHERENCY_TIME,
     CookieMatcher,
@@ -124,6 +130,7 @@ __all__ = [
     "MdnsDiscovery",
     "ServerRecord",
     "AcquisitionDenied",
+    "ChannelUnavailable",
     "CookieError",
     "DelegationError",
     "DescriptorExpired",
@@ -135,6 +142,9 @@ __all__ = [
     "TransportError",
     "UnknownDescriptor",
     "CookieGenerator",
+    "CircuitBreaker",
+    "ResilientChannel",
+    "RetryPolicy",
     "NETWORK_COHERENCY_TIME",
     "CookieMatcher",
     "MatchStats",

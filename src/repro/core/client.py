@@ -15,24 +15,56 @@ from typing import Any, Callable
 from ..netsim.packet import Packet
 from .cookie import Cookie
 from .descriptor import CookieDescriptor
-from .errors import AcquisitionDenied, CookieError, TransportError
+from .errors import (
+    AcquisitionDenied,
+    ChannelUnavailable,
+    CookieError,
+    DescriptorRevoked,
+    TransportError,
+)
 from .generator import CookieGenerator
+from .resilience import TRANSIENT_ERRORS
 from .transport.registry import TransportRegistry, default_registry
 
 __all__ = ["UserAgent", "AgentStats"]
 
 RequestChannel = Callable[[dict[str, Any]], dict[str, Any]]
 
+#: Channel failures an agent may ride out on cached descriptors.  A policy
+#: refusal (AcquisitionDenied) is deliberately absent: a reachable server
+#: saying "no" must stick.
+_OUTAGE_ERRORS = (ChannelUnavailable, *TRANSIENT_ERRORS)
+
 
 @dataclass
 class AgentStats:
-    """Counters for one agent's cookie activity."""
+    """Counters for one agent's cookie activity.
+
+    ``by_transport`` counts successful insertions per carrier name, plus
+    ``"<name>:failed"`` entries for carriers that were allowed but could
+    not take the cookie — the diagnosis trail for a degraded transport.
+    """
 
     descriptors_acquired: int = 0
     descriptors_renewed: int = 0
     cookies_inserted: int = 0
     insertions_failed: int = 0
+    renewals_failed: int = 0
+    grace_signings: int = 0
     by_transport: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, int]:
+        flat = {
+            "descriptors_acquired": self.descriptors_acquired,
+            "descriptors_renewed": self.descriptors_renewed,
+            "cookies_inserted": self.cookies_inserted,
+            "insertions_failed": self.insertions_failed,
+            "renewals_failed": self.renewals_failed,
+            "grace_signings": self.grace_signings,
+        }
+        for transport, count in sorted(self.by_transport.items()):
+            flat[f"by_transport.{transport}"] = count
+        return flat
 
 
 class UserAgent:
@@ -40,9 +72,17 @@ class UserAgent:
 
     ``channel`` abstracts the out-of-band path to the cookie server: for
     simulations it is ``server.handle_request`` directly; for the live
-    prototype it is an :class:`repro.core.netserver.CookieClient` call.
+    prototype it is an :class:`repro.core.netserver.CookieClient` call —
+    and for anything that must survive a flaky path, a
+    :class:`~repro.core.resilience.ResilientChannel` wrapping either.
     Descriptors are cached per service and renewed automatically when a
     generator reports expiry.
+
+    ``renewal_grace`` is the outage allowance: when renewal fails because
+    the server is *unreachable* (not because it refused), the agent keeps
+    signing with the cached descriptor for up to that many seconds past
+    its expiry instead of going dark.  Revoked descriptors never get
+    grace.
     """
 
     def __init__(
@@ -52,12 +92,14 @@ class UserAgent:
         channel: RequestChannel,
         registry: TransportRegistry | None = None,
         credentials: dict[str, Any] | None = None,
+        renewal_grace: float = 0.0,
     ) -> None:
         self.user = user
         self.clock = clock
         self.channel = channel
         self.registry = registry or default_registry()
         self.credentials = dict(credentials or {})
+        self.renewal_grace = max(renewal_grace, 0.0)
         self.stats = AgentStats()
         #: Invoked with the service name when a delivery-guaranteed
         #: response arrives without the network's acknowledgment cookie —
@@ -122,16 +164,40 @@ class UserAgent:
     # Data plane
     # ------------------------------------------------------------------
     def generate_cookie(self, service: str) -> Cookie:
-        """Mint a cookie, transparently renewing an expired descriptor."""
+        """Mint a cookie, transparently renewing an expired descriptor.
+
+        When renewal fails because the channel is down, a cached (merely
+        expired, never revoked) descriptor keeps signing within
+        :attr:`renewal_grace`; past the grace, the outage propagates as
+        :class:`~repro.core.errors.ChannelUnavailable`.
+        """
         generator = self._generators.get(service)
         if generator is None:
             self.acquire(service)
             generator = self._generators[service]
         try:
             return generator.generate()
-        except CookieError:
-            # Descriptor expired or was revoked under us: renew once.
+        except DescriptorRevoked:
+            # Revocation is not an outage: renew or fail, never grace.
             self.acquire(service)
+            self.stats.descriptors_renewed += 1
+            return self._generators[service].generate()
+        except CookieError:
+            # Descriptor expired under us: renew once.
+            try:
+                self.acquire(service)
+            except _OUTAGE_ERRORS as exc:
+                self.stats.renewals_failed += 1
+                try:
+                    cookie = generator.generate(grace=self.renewal_grace)
+                except CookieError:
+                    raise ChannelUnavailable(
+                        f"descriptor for {service!r} expired beyond the "
+                        f"{self.renewal_grace}s renewal grace and the "
+                        f"cookie server is unreachable"
+                    ) from exc
+                self.stats.grace_signings += 1
+                return cookie
             self.stats.descriptors_renewed += 1
             return self._generators[service].generate()
 
@@ -163,19 +229,60 @@ class UserAgent:
     def insert_cookie(self, packet: Packet, service: str) -> str | None:
         """Attach a fresh cookie for ``service`` to the packet.
 
-        Returns the transport used, or None if no carrier fits (the packet
-        then travels uncookied and receives best-effort service).
+        Returns the transport used, or None if no carrier fits or the
+        control plane is down with no descriptor to fall back on (the
+        packet then travels uncookied and receives best-effort service —
+        the paper's graceful-failure default; the data plane never raises
+        for a control-plane outage).
         """
-        cookie = self.generate_cookie(service)
+        try:
+            cookie = self.generate_cookie(service)
+        except _OUTAGE_ERRORS:
+            self.stats.insertions_failed += 1
+            self._note_transport_failure("channel")
+            return None
         generator = self._generators[service]
         allowed = generator.descriptor.attributes.transports
         try:
             transport = self.registry.attach(packet, cookie, allowed=allowed)
         except TransportError:
             self.stats.insertions_failed += 1
+            # No carrier fit: record every candidate that was allowed to
+            # try, so a degraded transport shows up by name in stats.
+            candidates = allowed if allowed is not None else self.registry.names
+            for name in candidates:
+                if self.registry.get(name) is not None:
+                    self._note_transport_failure(name)
             return None
         self.stats.cookies_inserted += 1
         self.stats.by_transport[transport] = (
             self.stats.by_transport.get(transport, 0) + 1
         )
         return transport
+
+    def _note_transport_failure(self, name: str) -> None:
+        key = f"{name}:failed"
+        self.stats.by_transport[key] = self.stats.by_transport.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def register_telemetry(self, registry, prefix: str = "agent") -> None:
+        """Export :class:`AgentStats` (including per-transport failure
+        counters) as ``agent.*``; if the channel is a
+        :class:`~repro.core.resilience.ResilientChannel`, its ``retry.*``
+        and ``breaker.*`` metrics are registered alongside."""
+        from ..telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            return TelemetrySnapshot(
+                counters={
+                    f"{prefix}.{name}": value
+                    for name, value in self.stats.as_dict().items()
+                }
+            )
+
+        registry.register_collector(prefix, collect)
+        register_channel = getattr(self.channel, "register_telemetry", None)
+        if callable(register_channel):
+            register_channel(registry)

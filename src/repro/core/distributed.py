@@ -71,6 +71,12 @@ class PoolStats:
     #: Worker processes replaced after a crash (process executor only;
     #: always 0 for in-process pools).
     shard_restarts: int = 0
+    #: Shards permanently handed to an in-process fallback matcher after
+    #: exceeding ``max_restarts`` (process executor only).
+    fallbacks: int = 0
+    #: Cookies answered ``verifier_unavailable`` because their shard died
+    #: twice within one dispatch (fail closed, process executor only).
+    unavailable_verdicts: int = 0
 
 
 class _VerifierPoolBase:
@@ -226,8 +232,18 @@ class ShardedVerifierPool(_VerifierPoolBase):
                     f"{prefix}.accepted": self.stats.accepted,
                     f"{prefix}.rejected": self.stats.rejected,
                     f"{prefix}.shard_restarts": self.stats.shard_restarts,
+                    # Always zero in-process; emitted so dashboards (and
+                    # the differential suite) see one metric set across
+                    # in-process and multi-process pools.
+                    f"{prefix}.fallbacks": self.stats.fallbacks,
+                    f"{prefix}.unavailable_verdicts": (
+                        self.stats.unavailable_verdicts
+                    ),
                 },
-                gauges={f"{prefix}.shards": self.shard_count},
+                gauges={
+                    f"{prefix}.shards": self.shard_count,
+                    f"{prefix}.fallback_shards": 0,
+                },
             )
 
         registry.register_collector(prefix, collect)

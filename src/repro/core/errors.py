@@ -24,6 +24,7 @@ __all__ = [
     "AcquisitionDenied",
     "TransportError",
     "DelegationError",
+    "ChannelUnavailable",
 ]
 
 
@@ -69,3 +70,11 @@ class TransportError(CookieError):
 
 class DelegationError(CookieError):
     """A delegation operation violated the descriptor's attributes."""
+
+
+class ChannelUnavailable(CookieError):
+    """The out-of-band channel to the cookie server is down: retries were
+    exhausted or the circuit breaker is open.  Distinct from
+    :class:`AcquisitionDenied` (a policy refusal from a *reachable*
+    server), because the two demand opposite reactions — a denial must
+    stick, an outage may be ridden out on cached descriptors."""

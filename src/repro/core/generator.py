@@ -38,19 +38,26 @@ class CookieGenerator:
         self.rng = rng
         self.generated_count = 0
 
-    def generate(self) -> Cookie:
+    def generate(self, grace: float = 0.0) -> Cookie:
         """Mint one cookie; raises if the descriptor is no longer usable.
 
         Raising here (rather than silently minting a doomed cookie) gives
         user agents the signal to renew the descriptor, per the paper's
         "periodically, the user gets a new descriptor from the network".
+
+        ``grace`` extends the expiry check (but never revocation) by that
+        many seconds: an agent that cannot reach the cookie server may
+        keep signing with a recently-expired cached descriptor for the
+        renewal grace period rather than going dark.  Whether the network
+        still honours such cookies is the verifier's call; grace only
+        governs what the client is willing to emit.
         """
         now = self.clock()
         if self.descriptor.revoked:
             raise DescriptorRevoked(
                 f"descriptor {self.descriptor.cookie_id:#x} was revoked"
             )
-        if self.descriptor.attributes.is_expired(now):
+        if self.descriptor.attributes.is_expired(now - max(grace, 0.0)):
             raise DescriptorExpired(
                 f"descriptor {self.descriptor.cookie_id:#x} expired at "
                 f"{self.descriptor.attributes.expires_at}"

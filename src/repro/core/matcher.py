@@ -6,7 +6,15 @@ The verifier accepts a cookie iff:
 2. the descriptor is usable (not revoked, not expired),
 3. the HMAC digest verifies under the descriptor key,
 4. the timestamp lies within the Network Coherency Time of now, and
-5. the uuid has not been seen before (no replay).
+5. the uuid has not been seen before *for this descriptor* (no replay).
+
+Replay scope is per descriptor: the cache key is ``cookie_id || uuid``, so
+two descriptors minting the same uuid do not collide.  This matches the
+sharded deployments (§4.6 relaxes uniqueness to what is locally
+verifiable): descriptor-affine shards each keep their own replay cache, so
+cross-descriptor uuid collisions land on different shards and were never
+detectable there.  Keying the scalar matcher the same way makes scalar,
+sharded, and multi-process verdicts identical by construction.
 
 The NCT — "the maximum time we expect a packet to live within the network"
 — defaults to the paper's 5 seconds.  It bounds both clock skew tolerance
@@ -231,7 +239,13 @@ class CookieMatcher:
             raise ValueError("network coherency time must be positive")
         self.store = store
         self.nct = nct
-        self.replay_cache = replay_cache or ReplayCache(window=nct)
+        # The cache window is 2×NCT, not NCT: a cookie stamped by a
+        # clock running up to NCT *ahead* stays timestamp-fresh until
+        # ts+NCT — as much as 2×NCT after the earliest instant it could
+        # first be spent (ts-NCT).  A cache retaining only ≥NCT rotates
+        # such a uuid out while the cookie is still acceptable, opening
+        # a replay window (found by the chaos soak under clock skew).
+        self.replay_cache = replay_cache or ReplayCache(window=2 * nct)
         self.stats = MatchStats()
         self._signers = SignerCache()
         if telemetry is not None:
@@ -291,7 +305,8 @@ class CookieMatcher:
             raise StaleTimestamp(
                 f"timestamp {cookie.timestamp} outside NCT of {now}"
             )
-        if self.replay_cache.check_and_record(cookie.uuid, now):
+        replay_key = cookie.cookie_id.to_bytes(8, "big") + cookie.uuid
+        if self.replay_cache.check_and_record(replay_key, now):
             self.stats.replayed += 1
             raise ReplayDetected(f"uuid {cookie.uuid.hex()} already seen")
         self.stats.accepted += 1
@@ -386,7 +401,9 @@ class CookieMatcher:
                 if note is not None:
                     note("stale_timestamp")
                 continue
-            if check_and_record(cookie.uuid, now):
+            if check_and_record(
+                cookie_id.to_bytes(8, "big") + cookie.uuid, now
+            ):
                 stats.replayed += 1
                 append(None)
                 if note is not None:

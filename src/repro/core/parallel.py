@@ -39,13 +39,15 @@ from __future__ import annotations
 import json
 import multiprocessing
 import struct
-from typing import TYPE_CHECKING, Sequence
+import time
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from .cookie import COOKIE_WIRE_BYTES, Cookie
 from .descriptor import CookieDescriptor
 from .distributed import PoolStats, rendezvous_shard
 from .errors import MalformedCookie
 from .matcher import NETWORK_COHERENCY_TIME, CookieMatcher, MatchStats
+from .resilience import RetryPolicy
 from .store import DescriptorStore
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
@@ -59,6 +61,7 @@ __all__ = [
     "VERDICT_ACCEPTED",
     "VERDICT_CODES",
     "VERDICT_REASONS",
+    "VERDICT_UNAVAILABLE",
     "ProcessShardExecutor",
 ]
 
@@ -84,6 +87,13 @@ VERDICT_CODES: dict[str, int] = {
     reason: code for code, reason in enumerate(VERDICT_REASONS)
 }
 VERDICT_ACCEPTED = VERDICT_CODES["accepted"]
+
+#: Dispatcher-level reason for cookies whose shard died twice within one
+#: dispatch: the sub-batch fails closed with this marker.  Deliberately
+#: **not** a wire code — workers can never report it (a worker that can
+#: reply is by definition available), so :data:`VERDICT_REASONS` stays a
+#: bijection with :class:`MatchStats` outcomes.
+VERDICT_UNAVAILABLE = "verifier_unavailable"
 
 #: One verdict record: reason code (1) + descriptor id (8, zero unless
 #: accepted — ids, never descriptor objects, cross the wire).
@@ -300,11 +310,17 @@ class ProcessShardExecutor:
     store behind the executor's back leaves worker replicas stale —
     route descriptor changes through the executor.
 
-    Crash handling: a dead worker is detected at the next dispatch or
-    stats poll, restarted cold, and counted in ``stats.shard_restarts``;
-    the in-flight sub-batch is re-dispatched to the fresh worker, so the
-    call completes rather than hanging (see module docstring for the
-    replay-window trade-off).
+    Crash handling is a ladder (PROTOCOL.md §11): a dead worker is
+    detected at the next dispatch or stats poll and restarted cold with
+    backoff (``restart_backoff``, counted in ``stats.shard_restarts``);
+    the in-flight sub-batch is re-dispatched once.  A shard that dies
+    *again* during the re-dispatch fails its sub-batch closed — every
+    cookie answers ``None`` with the dispatcher-level reason
+    :data:`VERDICT_UNAVAILABLE` — rather than raising.  A shard that
+    burns through ``max_restarts`` is permanently served by an
+    **in-process fallback matcher** over the dispatcher's own store
+    (``stats.fallbacks``): slower, but a dispatch never raises because a
+    worker died.
 
     Use as a context manager, or call :meth:`close`.
     """
@@ -317,14 +333,26 @@ class ProcessShardExecutor:
         *,
         reply_timeout: float = 30.0,
         start_method: str | None = None,
+        max_restarts: int = 3,
+        restart_backoff: RetryPolicy | None = None,
+        sleep: Callable[[float], None] | None = time.sleep,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         if reply_timeout <= 0:
             raise ValueError("reply timeout must be positive")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
         self.store = store
         self.nct = nct
         self.reply_timeout = reply_timeout
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff or RetryPolicy(
+            max_attempts=max_restarts + 1,
+            base_delay=0.05,
+            max_delay=1.0,
+        )
+        self._sleep = sleep
         self.stats = PoolStats()
         if start_method is None:
             # fork is milliseconds; spawn is the portable fallback.
@@ -338,6 +366,8 @@ class ProcessShardExecutor:
         # so merged counters stay monotonic across restarts.
         self._retired_stats = _zero_worker_stats()
         self._last_polled = [_zero_worker_stats() for _ in range(workers)]
+        self._restart_counts = [0] * workers
+        self._fallback_matchers: dict[int, CookieMatcher] = {}
         self._shard_memo: dict[int, int] = {}
         self._closed = False
         for index in range(workers):
@@ -361,30 +391,115 @@ class ProcessShardExecutor:
         self._procs[index] = process
         self._last_polled[index] = _zero_worker_stats()
 
-    def _restart(self, index: int) -> None:
-        """Replace a dead (or wedged) worker with a cold one."""
+    def _reap(self, index: int) -> None:
+        """Close and join whatever is left of a shard's worker."""
         conn, process = self._conns[index], self._procs[index]
-        try:
-            conn.close()
-        except OSError:  # pragma: no cover - already gone
-            pass
-        if process.is_alive():
-            process.terminate()
-        process.join(timeout=5.0)
-        if process.is_alive():  # pragma: no cover - terminate ignored
-            process.kill()
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
             process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - terminate ignored
+                process.kill()
+                process.join(timeout=5.0)
         # Keep whatever the dead worker last reported; everything it
         # counted since that poll is lost with it (documented in §10).
         self._retired_stats = _sum_worker_stats(
             [self._retired_stats, self._last_polled[index]]
         )
+        self._last_polled[index] = _zero_worker_stats()
+
+    def _restart(self, index: int) -> None:
+        """One rung of the recovery ladder: restart the dead worker with
+        backoff, or — once ``max_restarts`` is spent — retire the shard
+        to an in-process fallback matcher.  Idempotent for fallback
+        shards."""
+        if index in self._fallback_matchers:
+            return
+        if self._restart_counts[index] >= self.max_restarts:
+            self._enter_fallback(index)
+            return
+        delay = self.restart_backoff.delay_at(self._restart_counts[index])
+        if self._sleep is not None and delay > 0:
+            self._sleep(delay)
+        self._reap(index)
         self._spawn(index)
+        self._restart_counts[index] += 1
         self.stats.shard_restarts += 1
 
+    def _enter_fallback(self, index: int) -> None:
+        """Permanently serve this shard from an in-process matcher over
+        the dispatcher's own store.  Verdict semantics are unchanged
+        (same store, same NCT; the replay cache starts cold exactly as a
+        restarted worker's would); only the parallelism is lost."""
+        self._reap(index)
+        self._conns[index] = None
+        self._procs[index] = None
+        self._fallback_matchers[index] = CookieMatcher(self.store, nct=self.nct)
+        self.stats.fallbacks += 1
+
     def restart_shard(self, index: int) -> None:
-        """Operator-initiated shard replacement (cold replay cache)."""
+        """Operator-initiated shard replacement (cold replay cache).
+        Counts against ``max_restarts`` like any other restart."""
         self._restart(index)
+
+    @property
+    def fallback_shards(self) -> list[int]:
+        """Shards currently served by the in-process fallback matcher."""
+        return sorted(self._fallback_matchers)
+
+    def worker_pids(self) -> list[int | None]:
+        """Live worker PIDs by shard (None for fallback shards).
+
+        Exposed for chaos drills and kill tests, which need a real OS
+        handle to SIGKILL — not for routine operation."""
+        return [
+            process.pid if process is not None else None
+            for process in self._procs
+        ]
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def probe_shard(self, index: int, timeout: float | None = None) -> bool:
+        """Liveness probe: one stats round-trip within ``timeout``
+        (default: the reply timeout).  Fallback shards are healthy by
+        definition (in-process, nothing to probe).  Never raises and
+        never mutates pool state — pair with :meth:`ensure_healthy` to
+        act on a failed probe."""
+        if index in self._fallback_matchers:
+            return True
+        conn = self._conns[index]
+        try:
+            conn.send_bytes(_OP_STATS)
+            if not conn.poll(
+                self.reply_timeout if timeout is None else timeout
+            ):
+                return False
+            json.loads(conn.recv_bytes().decode("utf-8"))
+            return True
+        except (OSError, EOFError, BrokenPipeError, ValueError):
+            return False
+
+    def health(self) -> list[bool]:
+        """Probe every shard; element i is shard i's liveness."""
+        return [
+            self.probe_shard(index) for index in range(self._worker_count)
+        ]
+
+    def ensure_healthy(self) -> list[bool]:
+        """Probe every shard and climb the recovery ladder for any that
+        fails (restart with backoff, or fallback once restarts are
+        spent).  Returns post-recovery health — all True unless a
+        restarted worker died again immediately."""
+        for index in range(self._worker_count):
+            if not self.probe_shard(index):
+                self._restart(index)
+        return self.health()
 
     def worker_process(self, index: int):
         """The shard's :class:`multiprocessing.Process` (tests, ops)."""
@@ -396,6 +511,8 @@ class ProcessShardExecutor:
             return
         self._closed = True
         for conn in self._conns:
+            if conn is None:  # shard retired to fallback
+                continue
             try:
                 conn.send_bytes(_OP_QUIT)
                 if conn.poll(1.0):
@@ -407,6 +524,8 @@ class ProcessShardExecutor:
             except OSError:  # pragma: no cover - already gone
                 pass
         for process in self._procs:
+            if process is None:
+                continue
             process.join(timeout=5.0)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
@@ -456,7 +575,10 @@ class ProcessShardExecutor:
         return self.match_batch([cookie], now)[0]
 
     def match_batch(
-        self, cookies: Sequence[Cookie], now: float
+        self,
+        cookies: Sequence[Cookie],
+        now: float,
+        reasons: list[str] | None = None,
     ) -> list[CookieDescriptor | None]:
         """Batched dispatch across worker processes.
 
@@ -465,8 +587,15 @@ class ProcessShardExecutor:
         only order replay detection can depend on — all cookies of a
         descriptor land on one shard).  All sub-batches are *sent*
         before any reply is *collected*, so workers verify in parallel.
-        A shard that dies mid-dispatch is restarted and its sub-batch
-        re-dispatched once; a second failure raises.
+
+        Never raises for worker death.  A shard that dies mid-dispatch
+        is restarted (with backoff) and its sub-batch re-dispatched
+        once; a second death fails that sub-batch closed — ``None``
+        verdicts with the :data:`VERDICT_UNAVAILABLE` reason — and a
+        shard past ``max_restarts`` is served by the in-process
+        fallback matcher instead.  ``reasons``, if given, receives one
+        reason string per cookie (:data:`VERDICT_REASONS` names, or
+        ``verifier_unavailable``).
         """
         if not cookies:
             return []
@@ -476,12 +605,20 @@ class ProcessShardExecutor:
             per_shard.setdefault(
                 shard_index_for(cookie.cookie_id), []
             ).append(position)
-        frames = {
-            shard: _OP_BATCH
-            + _NOW.pack(now)
-            + encode_batch([cookies[position] for position in positions])
-            for shard, positions in per_shard.items()
-        }
+        # Shards already in fallback verify locally; the rest get frames.
+        local: dict[int, list[int]] = {}
+        frames: dict[int, bytes] = {}
+        for shard, positions in per_shard.items():
+            if shard in self._fallback_matchers:
+                local[shard] = positions
+            else:
+                frames[shard] = (
+                    _OP_BATCH
+                    + _NOW.pack(now)
+                    + encode_batch(
+                        [cookies[position] for position in positions]
+                    )
+                )
         # Fan out: send every sub-batch before collecting any reply.
         failed: list[int] = []
         for shard, frame in frames.items():
@@ -502,31 +639,88 @@ class ProcessShardExecutor:
             except (OSError, EOFError, TimeoutError):
                 failed.append(shard)
         # Recover: restart each failed shard, re-dispatch synchronously.
+        unavailable: list[int] = []
         for shard in failed:
             self._restart(shard)
-            replies[shard] = self._roundtrip(shard, frames[shard])
+            if shard in self._fallback_matchers:
+                local[shard] = per_shard[shard]
+                continue
+            try:
+                replies[shard] = self._roundtrip(shard, frames[shard])
+            except (OSError, EOFError, TimeoutError, BrokenPipeError):
+                # Died again during the re-dispatch: burn another rung of
+                # the ladder (possibly tipping into fallback for *next*
+                # dispatch) and fail this sub-batch closed.
+                self._restart(shard)
+                if shard in self._fallback_matchers:
+                    local[shard] = per_shard[shard]
+                else:
+                    unavailable.append(shard)
         # Resolve descriptor ids against the dispatcher's own store —
         # descriptor objects never cross the process boundary.
         results: list[CookieDescriptor | None] = [None] * len(cookies)
+        reason_arr: list[str] | None = (
+            [VERDICT_UNAVAILABLE] * len(cookies)
+            if reasons is not None
+            else None
+        )
         store_get = self.store.get
-        accepted = 0
         for shard, positions in per_shard.items():
-            verdicts = decode_verdicts(replies[shard])
-            if len(verdicts) != len(positions):
-                raise MalformedCookie(
-                    f"shard {shard} returned {len(verdicts)} verdicts "
-                    f"for {len(positions)} cookies"
-                )
+            if shard in local or shard in unavailable:
+                continue
+            try:
+                verdicts = decode_verdicts(replies[shard])
+                if len(verdicts) != len(positions):
+                    raise MalformedCookie(
+                        f"shard {shard} returned {len(verdicts)} verdicts "
+                        f"for {len(positions)} cookies"
+                    )
+            except MalformedCookie:
+                # A garbled reply means a worker we no longer trust:
+                # same treatment as a death after re-dispatch.
+                self._restart(shard)
+                if shard in self._fallback_matchers:
+                    local[shard] = positions
+                else:
+                    unavailable.append(shard)
+                continue
             for position, (code, descriptor_id) in zip(positions, verdicts):
                 if code == VERDICT_ACCEPTED:
                     descriptor = store_get(descriptor_id)
                     if descriptor is not None:
                         results[position] = descriptor
-                        accepted += 1
-                    # else: removed from the dispatcher's store since
-                    # dispatch — fail closed, count as rejected.
+                        if reason_arr is not None:
+                            reason_arr[position] = "accepted"
+                    elif reason_arr is not None:
+                        # Removed from the dispatcher's store since
+                        # dispatch — fail closed, count as rejected.
+                        reason_arr[position] = "unknown_id"
+                elif reason_arr is not None:
+                    reason_arr[position] = VERDICT_REASONS[code]
+        # Fallback shards: verify in-process against the shared store.
+        for shard, positions in local.items():
+            matcher = self._fallback_matchers[shard]
+            sub_reasons: list[str] | None = (
+                [] if reason_arr is not None else None
+            )
+            sub_results = matcher.match_batch(
+                [cookies[position] for position in positions],
+                now,
+                reasons=sub_reasons,
+            )
+            for offset, position in enumerate(positions):
+                results[position] = sub_results[offset]
+                if reason_arr is not None:
+                    assert sub_reasons is not None
+                    reason_arr[position] = sub_reasons[offset]
+        for shard in unavailable:
+            self.stats.unavailable_verdicts += len(per_shard[shard])
+        accepted = sum(1 for result in results if result is not None)
         self.stats.accepted += accepted
         self.stats.rejected += len(cookies) - accepted
+        if reasons is not None:
+            assert reason_arr is not None
+            reasons.extend(reason_arr)
         return results
 
     # ------------------------------------------------------------------
@@ -535,6 +729,10 @@ class ProcessShardExecutor:
     def _push_delta(self, ops: list[dict]) -> None:
         frame = _OP_DELTA + json.dumps(ops).encode("utf-8")
         for index in range(self._worker_count):
+            if index in self._fallback_matchers:
+                # Fallback matchers read the dispatcher's store directly;
+                # there is no replica to update.
+                continue
             try:
                 reply = self._roundtrip(index, frame)
             except (OSError, EOFError, TimeoutError, BrokenPipeError):
@@ -573,10 +771,25 @@ class ProcessShardExecutor:
 
         A worker that fails to answer is restarted (counted in
         ``shard_restarts``) and reports its last successful poll, so
-        the collection itself can never hang the caller.
+        the collection itself can never hang the caller.  Fallback
+        shards report their in-process matcher in the same shape.
         """
         snapshots: list[dict] = []
         for index in range(self._worker_count):
+            matcher = self._fallback_matchers.get(index)
+            if matcher is not None:
+                cache = matcher.replay_cache
+                snapshots.append(
+                    {
+                        "match": matcher.stats.as_dict(),
+                        "replay_cache": {
+                            "rotations": cache.rotations,
+                            "idle_resets": cache.idle_resets,
+                            "size": cache.size,
+                        },
+                    }
+                )
+                continue
             try:
                 reply = self._roundtrip(index, _OP_STATS)
                 snapshot = json.loads(reply.decode("utf-8"))
@@ -628,6 +841,10 @@ class ProcessShardExecutor:
             counters[f"{prefix}.accepted"] = self.stats.accepted
             counters[f"{prefix}.rejected"] = self.stats.rejected
             counters[f"{prefix}.shard_restarts"] = self.stats.shard_restarts
+            counters[f"{prefix}.fallbacks"] = self.stats.fallbacks
+            counters[f"{prefix}.unavailable_verdicts"] = (
+                self.stats.unavailable_verdicts
+            )
             return TelemetrySnapshot(
                 counters=counters,
                 gauges={
@@ -635,6 +852,7 @@ class ProcessShardExecutor:
                         total["replay_cache"]["size"]
                     ),
                     f"{prefix}.shards": self._worker_count,
+                    f"{prefix}.fallback_shards": len(self._fallback_matchers),
                 },
             )
 

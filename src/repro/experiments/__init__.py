@@ -14,12 +14,23 @@ scaleout          §5 multi-core verification scale-out
 
 Fig. 1 and Fig. 2 live in :mod:`repro.study` (BoostStudy /
 ZeroRatingSurvey); Table 1 lives in :mod:`repro.baselines.comparison`.
+
+:mod:`.chaos` reproduces no figure — it is the fault-injection soak
+backing the failure model (PROTOCOL.md §11).
 """
 
+from .chaos import (
+    ChaosConfig,
+    ChaosReport,
+    run_chaos,
+    run_outage_drill,
+    run_pool_kill_drill,
+)
 from .fig4_throughput import (
     FLOW_LENGTHS,
     PACKET_SIZES,
     Fig4Point,
+    run_clean_vs_faulted,
     run_point,
     run_scalar_vs_batched,
     run_sweep,
@@ -45,9 +56,15 @@ from .sec3_dpi import Sec3Result, run_sec3
 from .sec46_campus import Sec46Result, run_sec46
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "run_chaos",
+    "run_outage_drill",
+    "run_pool_kill_drill",
     "FLOW_LENGTHS",
     "PACKET_SIZES",
     "Fig4Point",
+    "run_clean_vs_faulted",
     "run_point",
     "run_scalar_vs_batched",
     "run_sweep",

@@ -8,6 +8,7 @@ pipeline, a compact TCP model, and canonical topologies.
 
 from .capture import CaptureRecord, PacketCapture
 from .events import EventLoop, ScheduledEvent, SimulationError
+from .faults import FaultInjector, FaultPlan, FaultStats, SkewedClock
 from .flow import FiveTuple, Flow, FlowTable, flow_key_of
 from .headers import (
     DSCP_MAX,
@@ -53,6 +54,10 @@ __all__ = [
     "CaptureRecord",
     "PacketCapture",
     "EventLoop",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "SkewedClock",
     "ScheduledEvent",
     "SimulationError",
     "FiveTuple",

@@ -25,7 +25,14 @@ from ...netsim.topology import HomeNetwork
 from .qos import FAST_LANE_CLASS, CapacityEstimator, ThrottlePlan, WMM_FAST_LANE_CATEGORY
 from .server import BOOST_EVENT_LIFETIME
 
-__all__ = ["BoostDaemon"]
+__all__ = ["BoostDaemon", "DEGRADED_FAIL_OPEN", "DEGRADED_FAIL_CLOSED"]
+
+#: While the cookie server is unreachable, keep the current fast-lane
+#: state frozen (expiry suspended) — households keep what they paid for.
+DEGRADED_FAIL_OPEN = "fail-open"
+#: While the cookie server is unreachable, tear the fast lane down and
+#: refuse new activations — nobody gets boosted on stale authority.
+DEGRADED_FAIL_CLOSED = "fail-closed"
 
 
 class BoostDaemon:
@@ -48,7 +55,10 @@ class BoostDaemon:
         telemetry=None,
         telemetry_prefix: str = "boost",
         verifier: "CookieMatcher | None" = None,
+        degraded_mode: str = DEGRADED_FAIL_CLOSED,
     ) -> None:
+        if degraded_mode not in (DEGRADED_FAIL_OPEN, DEGRADED_FAIL_CLOSED):
+            raise ValueError(f"unknown degraded mode {degraded_mode!r}")
         self.loop = loop
         self.store = store
         # ``verifier`` lets a deployment swap the embedded single-core
@@ -72,6 +82,15 @@ class BoostDaemon:
         self._expiry_event: ScheduledEvent | None = None
         self.boost_events = 0
         self.superseded_events = 0
+        #: Degraded-mode machinery: when the out-of-band path to the
+        #: cookie server is down (reported via :meth:`set_degraded` or a
+        #: breaker attached with :meth:`attach_breaker`), ``degraded_mode``
+        #: decides what happens to the household fast lane.
+        self.degraded_mode = degraded_mode
+        self.degraded = False
+        self.degraded_entered = 0
+        self.degraded_activations_blocked = 0
+        self._breaker = None
         if telemetry is not None:
             self.register_telemetry(telemetry, prefix=telemetry_prefix)
 
@@ -86,8 +105,15 @@ class BoostDaemon:
                 counters={
                     f"{prefix}.boost_events": self.boost_events,
                     f"{prefix}.superseded_events": self.superseded_events,
+                    f"{prefix}.degraded_entered": self.degraded_entered,
+                    f"{prefix}.degraded_activations_blocked": (
+                        self.degraded_activations_blocked
+                    ),
                 },
-                gauges={f"{prefix}.boost_active": int(self.boost_active)},
+                gauges={
+                    f"{prefix}.boost_active": int(self.boost_active),
+                    f"{prefix}.degraded": int(self.degraded),
+                },
             )
 
         registry.register_collector(prefix, collect)
@@ -103,10 +129,69 @@ class BoostDaemon:
             )
 
     # ------------------------------------------------------------------
+    # Degraded mode (cookie server unreachable)
+    # ------------------------------------------------------------------
+    def attach_breaker(self, breaker) -> None:
+        """Follow a :class:`~repro.core.resilience.CircuitBreaker` (the
+        agent's channel breaker): whenever the breaker is open the daemon
+        runs degraded, re-evaluated on every packet that would touch the
+        fast lane."""
+        self._breaker = breaker
+
+    def set_degraded(self, degraded: bool) -> None:
+        """Enter or leave degraded operation (idempotent).
+
+        Verification itself still runs — the descriptor store is local.
+        What changes is the household fast-lane state: fail-closed tears
+        it down and blocks new activations; fail-open freezes the current
+        boost (its expiry timer is suspended, because the daemon cannot
+        renew authority while the server is down) and re-arms a fresh
+        lifetime on recovery.
+        """
+        if degraded == self.degraded:
+            return
+        self.degraded = degraded
+        if degraded:
+            self.degraded_entered += 1
+            if self.degraded_mode == DEGRADED_FAIL_CLOSED:
+                self.cancel_boost()
+            elif self._expiry_event is not None:
+                self._expiry_event.cancel()
+                self._expiry_event = None
+        elif (
+            self.active_descriptor_id is not None
+            and self._expiry_event is None
+        ):
+            # Fail-open recovery: the frozen boost gets one fresh
+            # lifetime from the moment authority is restored.
+            self._expiry_event = self.loop.schedule(
+                self.boost_lifetime,
+                lambda cid=self.active_descriptor_id: self._expire(cid),
+            )
+
+    def poll_degraded(self) -> None:
+        """Re-evaluate degraded state from the attached breaker.
+
+        Called automatically on every fast-lane application; deployments
+        with quiet data paths should also schedule it on a timer so an
+        outage is noticed without waiting for the next valid cookie."""
+        if self._breaker is not None:
+            self.set_degraded(self._breaker.state == self._breaker.OPEN)
+
+    # ------------------------------------------------------------------
     # Service application (called by the cookie switch per packet)
     # ------------------------------------------------------------------
     def _apply_boost(self, descriptor: CookieDescriptor, packet: Packet) -> None:
+        self.poll_degraded()
+        if self.degraded and self.degraded_mode == DEGRADED_FAIL_CLOSED:
+            self.degraded_activations_blocked += 1
+            return
         if self.active_descriptor_id != descriptor.cookie_id:
+            if self.degraded:
+                # Fail-open freezes the *current* state; it does not
+                # start or hand over boosts on unrenewable authority.
+                self.degraded_activations_blocked += 1
+                return
             self._activate(descriptor)
         if descriptor.cookie_id == self.active_descriptor_id:
             packet.meta["qos_class"] = FAST_LANE_CLASS

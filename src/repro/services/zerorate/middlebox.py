@@ -173,6 +173,11 @@ class ZeroRatingMiddlebox(Element):
         self.packets_processed = 0
         self.cookie_hits = 0
         self.cookie_misses = 0
+        #: Fail-safe rule (§4.6 economics): if the verifier itself blows
+        #: up — a pool whose workers are gone, a store backend erroring —
+        #: the flow is **charged, never free**.  An attacker must not be
+        #: able to turn a verifier crash into free data.
+        self.verifier_failures = 0
         self.flows_resolved = 0
         self.flows_evicted_idle = 0
         self.flows_evicted_cap = 0
@@ -217,7 +222,12 @@ class ZeroRatingMiddlebox(Element):
         if not state.resolved and state.packets_seen <= self.sniff_packets:
             found = self.registry.extract(packet)
             if found is not None:
-                descriptor = self.matcher.match(found[0], now)
+                # The cookie was consumed by verification (accepted or
+                # not).  A cookie the box *skipped* — resolved flow, or
+                # past the sniff window — stays unspent on the wire and
+                # is outside the replay cache's protection.
+                packet.meta["cookie_checked"] = True
+                descriptor = self._match_failsafe(found[0], now)
                 if descriptor is not None:
                     state.zero_rated = True
                     state.service = descriptor.service_data
@@ -261,7 +271,7 @@ class ZeroRatingMiddlebox(Element):
         flows = self._flows
         counters = self.counters
         extract = self.registry.extract
-        match = self.matcher.match
+        match = self._match_failsafe
         sniff = self.sniff_packets
         idle = self.flow_idle_timeout
         max_subscribers = self.max_subscribers
@@ -305,6 +315,7 @@ class ZeroRatingMiddlebox(Element):
             if not state.resolved and packets_seen <= sniff:
                 found = extract(packet)
                 if found is not None:
+                    packet.meta["cookie_checked"] = True
                     descriptor = match(found[0], now)
                     if descriptor is not None:
                         state.zero_rated = True
@@ -414,6 +425,17 @@ class ZeroRatingMiddlebox(Element):
         self.cookie_hits += hits
         self.cookie_misses += misses
         self.emit_batch(out)
+
+    def _match_failsafe(self, cookie, now: float):
+        """``matcher.match`` with the fail-safe rule: a verifier *error*
+        (as opposed to a clean rejection) counts as no match, so the flow
+        stays charged.  Free data requires a working verifier saying yes.
+        """
+        try:
+            return self.matcher.match(cookie, now)
+        except Exception:
+            self.verifier_failures += 1
+            return None
 
     def _resolve(self, key: tuple, state: _FlowState) -> None:
         state.resolved = True
@@ -540,6 +562,7 @@ class ZeroRatingMiddlebox(Element):
                     f"{prefix}.packets_processed": self.packets_processed,
                     f"{prefix}.cookie_hits": self.cookie_hits,
                     f"{prefix}.cookie_misses": self.cookie_misses,
+                    f"{prefix}.verifier_failures": self.verifier_failures,
                     f"{prefix}.flows_resolved": self.flows_resolved,
                     f"{prefix}.flows_evicted_idle": self.flows_evicted_idle,
                     f"{prefix}.flows_evicted_cap": self.flows_evicted_cap,

@@ -1,0 +1,98 @@
+"""Chaos soak acceptance tests.
+
+The quick smoke (unmarked, tier-1) runs a miniature storm to keep the
+harness itself honest.  The full soak — the CI acceptance profile with
+the pinned seed — is marked ``chaos`` and runs in its own CI job via
+``pytest -m chaos``.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ChaosConfig, ChaosReport, run_chaos
+
+#: The seed the CI chaos job pins; a failure reproduces bit-identically.
+CI_SEED = 20160822
+
+SMOKE = ChaosConfig(
+    seed=7,
+    homes=3,
+    flows_per_home=4,
+    packets_per_flow=4,
+    duration_s=20.0,
+    attacker_replays=8,
+    outages=((6.0, 10.0),),
+)
+
+
+class TestSmoke:
+    def test_miniature_storm_holds_invariants(self):
+        report = run_chaos(SMOKE)
+        assert report.ok, report.violations
+        assert report.unhandled_exceptions == []
+        assert report.invalid_free_bytes == 0
+        assert report.conservation_violations == []
+        # Non-vacuous: honest traffic was actually zero-rated.
+        assert report.free_bytes > 0
+
+    def test_smoke_is_deterministic(self):
+        first = run_chaos(SMOKE)
+        second = run_chaos(SMOKE)
+        assert first.to_json() == second.to_json()
+
+    def test_report_json_round_trips(self):
+        report = run_chaos(SMOKE)
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["free_bytes"] == report.free_bytes
+        summary = report.summary()
+        assert set(summary["injected"]) >= {
+            "drops", "duplicates", "reorders", "corruptions", "delays"
+        }
+
+    def test_vacuous_run_is_a_violation(self):
+        """A config whose faults ate all the traffic must not pass."""
+        report = ChaosReport(
+            config={}, faults={}, middlebox={}, agents={}, flows={},
+            invalid_free_bytes=0, free_bytes=0, charged_bytes=0,
+        )
+        assert not report.ok
+        assert any("vacuous" in v for v in report.violations)
+
+
+@pytest.mark.chaos
+class TestFullSoak:
+    def test_ci_acceptance_profile(self):
+        """Every fault class at ≥5%, ±2 s skew, two outages, an on-path
+        replay attacker — zero free bytes to invalid flows, per-IP
+        conservation, zero unhandled exceptions."""
+        report = run_chaos(ChaosConfig(seed=CI_SEED))
+        assert report.ok, report.violations
+        assert report.invalid_free_bytes == 0
+        assert report.conservation_violations == []
+        assert report.unhandled_exceptions == []
+        # The storm was real: every fault class actually fired.
+        for kind in ("drops", "duplicates", "reorders", "corruptions",
+                     "delays"):
+            assert report.faults[kind] > 0, f"no {kind} injected"
+        # The outage windows exercised renewal grace.
+        assert report.agents["grace_signings"] > 0
+        assert report.free_bytes > 0
+        assert report.charged_bytes > 0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_invariants_hold_across_seeds(self, seed):
+        report = run_chaos(ChaosConfig(seed=seed, duration_s=30.0, homes=4))
+        assert report.ok, report.violations
+
+    def test_outage_drills_both_modes(self):
+        from repro.experiments import run_outage_drill
+
+        for mode in ("fail-open", "fail-closed"):
+            drill = run_outage_drill(mode)
+            assert drill["during_outage"]["degraded"] is True
+            assert drill["after_recovery"]["boost_active"] is True
+            assert drill["breaker_opened"] >= 1
+            assert drill["grace_signings"] > 0

@@ -1,0 +1,192 @@
+"""BoostDaemon degraded modes: what happens to the household fast lane
+when the out-of-band path to the cookie server is down.
+
+Fail-closed tears the boost down and blocks activations (authority
+cannot be renewed, so none is honoured).  Fail-open freezes the current
+boost — its expiry timer is suspended — but never starts or hands over
+a boost on unrenewable authority.  Both recover cleanly.
+"""
+
+import pytest
+
+from repro.core.descriptor import CookieDescriptor
+from repro.core.generator import CookieGenerator
+from repro.core.resilience import CircuitBreaker
+from repro.core.store import DescriptorStore
+from repro.core.transport import default_registry
+from repro.netsim import EventLoop, make_tcp_packet
+from repro.services.boost.daemon import (
+    DEGRADED_FAIL_CLOSED,
+    DEGRADED_FAIL_OPEN,
+    BoostDaemon,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def _rig(mode, boost_lifetime=30.0):
+    loop = EventLoop()
+    store = DescriptorStore()
+    daemon = BoostDaemon(
+        loop, store, boost_lifetime=boost_lifetime, degraded_mode=mode
+    )
+    return loop, store, daemon
+
+
+def _cookied_packet(store, loop, sport=40000):
+    descriptor = store.add(CookieDescriptor.create(service_data="Boost"))
+    cookie = CookieGenerator(descriptor, clock=lambda: loop.now).generate()
+    packet = make_tcp_packet(
+        "10.0.0.2", sport, "93.184.216.34", 443, payload_size=100
+    )
+    default_registry().attach(packet, cookie)
+    return descriptor, packet
+
+
+class TestModeSelection:
+    def test_unknown_mode_rejected(self):
+        loop, store = EventLoop(), DescriptorStore()
+        with pytest.raises(ValueError):
+            BoostDaemon(loop, store, degraded_mode="fail-sideways")
+
+    def test_default_is_fail_closed(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_CLOSED)
+        assert BoostDaemon(loop, store).degraded_mode == DEGRADED_FAIL_CLOSED
+
+
+class TestFailClosed:
+    def test_entering_degraded_cancels_boost(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_CLOSED)
+        _, packet = _cookied_packet(store, loop)
+        daemon.switch.push(packet)
+        assert daemon.active_descriptor_id is not None
+        daemon.set_degraded(True)
+        assert daemon.active_descriptor_id is None
+        assert daemon.degraded_entered == 1
+
+    def test_activations_blocked_while_degraded(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_CLOSED)
+        daemon.set_degraded(True)
+        _, packet = _cookied_packet(store, loop)
+        daemon.switch.push(packet)
+        assert daemon.active_descriptor_id is None
+        assert daemon.degraded_activations_blocked == 1
+        assert "qos_class" not in packet.meta
+
+    def test_recovery_reactivates_on_next_cookie(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_CLOSED)
+        daemon.set_degraded(True)
+        daemon.set_degraded(False)
+        _, packet = _cookied_packet(store, loop)
+        daemon.switch.push(packet)
+        assert daemon.active_descriptor_id is not None
+
+
+class TestFailOpen:
+    def test_degraded_freezes_boost_past_lifetime(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_OPEN, boost_lifetime=10.0)
+        descriptor, packet = _cookied_packet(store, loop)
+        daemon.switch.push(packet)
+        daemon.set_degraded(True)
+        # Far past the boost lifetime: the frozen boost must survive.
+        loop.run(until=60.0)
+        assert daemon.active_descriptor_id == descriptor.cookie_id
+
+    def test_no_handover_while_degraded(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_OPEN)
+        first, packet = _cookied_packet(store, loop, sport=40001)
+        daemon.switch.push(packet)
+        daemon.set_degraded(True)
+        _, challenger = _cookied_packet(store, loop, sport=40002)
+        daemon.switch.push(challenger)
+        assert daemon.active_descriptor_id == first.cookie_id
+        assert daemon.degraded_activations_blocked == 1
+
+    def test_active_descriptor_keeps_fast_lane_while_degraded(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_OPEN)
+        descriptor, packet = _cookied_packet(store, loop, sport=40003)
+        daemon.switch.push(packet)
+        daemon.set_degraded(True)
+        cookie = CookieGenerator(descriptor, clock=lambda: loop.now).generate()
+        follow_up = make_tcp_packet(
+            "10.0.0.2", 40003, "93.184.216.34", 443, payload_size=100
+        )
+        default_registry().attach(follow_up, cookie)
+        daemon.switch.push(follow_up)
+        assert follow_up.meta.get("qos_class") is not None
+
+    def test_recovery_rearms_a_fresh_lifetime(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_OPEN, boost_lifetime=10.0)
+        descriptor, packet = _cookied_packet(store, loop)
+        daemon.switch.push(packet)
+        daemon.set_degraded(True)
+        loop.run(until=50.0)
+        daemon.set_degraded(False)
+        # Frozen boost gets one fresh lifetime from recovery...
+        loop.run(until=59.0)
+        assert daemon.active_descriptor_id == descriptor.cookie_id
+        # ...and then expires normally.
+        loop.run(until=61.0)
+        assert daemon.active_descriptor_id is None
+
+
+class TestBreakerIntegration:
+    def test_poll_degraded_follows_breaker(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_CLOSED)
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout=5.0, clock=lambda: loop.now
+        )
+        daemon.attach_breaker(breaker)
+        breaker.record_failure()
+        breaker.record_failure()
+        daemon.poll_degraded()
+        assert daemon.degraded is True
+        breaker.record_success()
+        daemon.poll_degraded()
+        assert daemon.degraded is False
+
+    def test_apply_path_polls_automatically(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_CLOSED)
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=lambda: loop.now
+        )
+        daemon.attach_breaker(breaker)
+        breaker.record_failure()  # open
+        _, packet = _cookied_packet(store, loop)
+        daemon.switch.push(packet)  # _apply_boost polls and blocks
+        assert daemon.degraded is True
+        assert daemon.active_descriptor_id is None
+
+    def test_degraded_counters_in_telemetry(self):
+        loop, store, daemon = _rig(DEGRADED_FAIL_CLOSED)
+        registry = MetricsRegistry()
+        daemon.register_telemetry(registry)
+        daemon.set_degraded(True)
+        _, packet = _cookied_packet(store, loop)
+        daemon.switch.push(packet)
+        snapshot = registry.snapshot()
+        assert snapshot.counters["boost.degraded_entered"] == 1
+        assert snapshot.counters["boost.degraded_activations_blocked"] == 1
+        assert snapshot.gauges["boost.degraded"] == 1
+
+
+class TestOutageDrill:
+    @pytest.mark.parametrize("mode", [DEGRADED_FAIL_OPEN,
+                                      DEGRADED_FAIL_CLOSED])
+    def test_thirty_second_outage_drill(self, mode):
+        from repro.experiments import run_outage_drill
+
+        drill = run_outage_drill(mode)
+        assert drill["before_outage"]["boost_active"] is True
+        assert drill["during_outage"]["degraded"] is True
+        assert drill["during_outage"]["breaker_state"] == "open"
+        # The mode decides the fate of the boost mid-outage.
+        expected = mode == DEGRADED_FAIL_OPEN
+        assert drill["during_outage"]["boost_active"] is expected
+        # Recovery: breaker closes, fast lane restored either way.
+        assert drill["after_recovery"]["boost_active"] is True
+        assert drill["after_recovery"]["degraded"] is False
+        assert drill["breaker_opened"] >= 1
+        # Renewal grace kept the agent signing through the outage.
+        assert drill["grace_signings"] > 0
+        # The open breaker shed calls instead of stacking timeouts.
+        assert drill["rejected_open"] > 0

@@ -111,6 +111,35 @@ class TestCounting:
         middlebox.handle(first)
         assert first.meta.get("zero_rated")
 
+    def test_cookie_checked_meta_marks_consumed_cookies(self):
+        """A verified (spent) cookie is stamped ``cookie_checked``; a
+        cookie arriving after the sniff window closed is skipped and
+        stays unstamped — it was never consumed, so replay-cache
+        guarantees do not extend to it."""
+        clock, _store, descriptor, middlebox = _env()
+        first = _flow_packets(descriptor, clock, count=1)[0]
+        middlebox.handle(first)
+        assert first.meta.get("cookie_checked") is True
+
+        # Same flow, new middlebox: burn the sniff window with bare
+        # packets, then present the cookie late.
+        clock2, _store2, descriptor2, late_box = _env()
+        for packet in _flow_packets(
+            descriptor2, clock2, cookied=False,
+            count=late_box.sniff_packets,
+        ):
+            late_box.handle(packet)
+        late = _flow_packets(descriptor2, clock2, count=1)[0]
+        late_box.handle(late)
+        assert "cookie_checked" not in late.meta
+
+    def test_cookie_checked_meta_in_batch_path(self):
+        clock, _store, descriptor, middlebox = _env()
+        packets = _flow_packets(descriptor, clock, count=3)
+        middlebox.process_batch(packets)
+        assert packets[0].meta.get("cookie_checked") is True
+        assert "cookie_checked" not in packets[1].meta
+
     def test_subscribers_keyed_by_inside_address(self):
         clock, _store, descriptor, middlebox = _env()
         for packet in _flow_packets(descriptor, clock):
