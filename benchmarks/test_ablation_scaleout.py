@@ -10,12 +10,14 @@ This benchmark quantifies both sides on the same workload:
   measurable double-spending.
 
 ``test_scaleout_multicore`` then measures the payoff of doing it with
-real cores: the :class:`ProcessShardExecutor` at 1/2/4 workers against
-the in-process pool on one verification-bound stream (the paper's §5
-linear-scaling claim, Fig. 4's regime).  It always writes
+real cores: the :class:`ProcessShardExecutor` (shared-memory ring
+transport via ``auto``) at 1/2/4 workers against the in-process pool on
+one verification-bound stream (the paper's §5 linear-scaling claim,
+Fig. 4's regime).  It always writes
 ``benchmarks/reports/scaleout_multicore.json`` for the CI step summary;
-the ≥1.8x parallel-efficiency floor is only asserted on ≥4-core
-machines (on smaller runners the numbers are recorded, not judged).
+the ≥3x-vs-in-process floor is only asserted on ≥4-core machines, while
+the ≥0.9x single-worker floor (the degrade ladder's guarantee) is
+asserted everywhere.
 """
 
 import json
@@ -140,7 +142,15 @@ def test_ablation_scaleout_scalar_vs_batched(benchmark, report):
 
 
 MULTICORE_WORKER_COUNTS = (1, 2, 4)
-MULTICORE_SPEEDUP_FLOOR = 1.8
+#: 4 shm-ring workers must beat the in-process pool end to end —
+#: including every IPC cost — by at least this much on a ≥4-core box.
+MULTICORE_SPEEDUP_FLOOR = 3.0
+#: Ungated: 1 worker must never lose meaningfully to the in-process
+#: pool.  On multi-core boxes the ring transport pipelines encode
+#: against verification; on single-core boxes ``auto`` degrades to
+#: in-process service — either way the 0.45x regression class of the
+#: pipe transport cannot land again.
+SINGLE_WORKER_FLOOR = 0.9
 MULTICORE_JSON = pathlib.Path(__file__).parent / "reports" / "scaleout_multicore.json"
 
 
@@ -149,9 +159,11 @@ def test_scaleout_multicore(benchmark, report):
 
     The JSON report is written unconditionally (CI publishes it to the
     step summary; the checked-in copy documents a reference run).  The
-    parallel-efficiency assertion — ≥1.8x at 4 workers over 1 worker —
-    needs 4 real cores to be physics rather than scheduling noise, so it
-    is gated on ``os.cpu_count()``.
+    headline assertion — ≥3x over the in-process pool at 4 workers —
+    needs 4 real cores to be physics rather than scheduling noise, so
+    it is gated on ``os.cpu_count()``; the ≥0.9x single-worker floor
+    holds everywhere because the degrade ladder guarantees it by
+    construction.
     """
     result = benchmark.pedantic(
         lambda: run_scaleout(worker_counts=MULTICORE_WORKER_COUNTS, rounds=2),
@@ -165,24 +177,38 @@ def test_scaleout_multicore(benchmark, report):
         report(line)
 
     configs = {
-        (c["mode"], c["workers"]): c for c in result["configs"]
+        c["workers"]: c
+        for c in result["configs"]
+        if c["mode"] == "multi-process"
     }
     total = result["workload"]["cookies"]
     # Every configuration grants every cookie exactly once: the stream is
     # all-valid and unique, and a fresh pool starts each round cold.
     for config in result["configs"]:
         assert config["grants"] == total, config
-    four = configs[("multi-process", 4)]
+    one, four = configs[1], configs[4]
     benchmark.extra_info["cookies_per_s_4_workers"] = four["cookies_per_s"]
-    benchmark.extra_info["speedup_vs_1_worker"] = four["speedup_vs_1_worker"]
+    benchmark.extra_info["speedup_vs_in_process"] = (
+        four["speedup_vs_in_process"]
+    )
+    benchmark.extra_info["transport_4_workers"] = four["transport"]
     benchmark.extra_info["cpu_count"] = result["cpu_count"]
+
+    # The report must say what it measured: a degrade-mode row can never
+    # masquerade as a multi-core result.
+    for config in configs.values():
+        assert config["transport"] in {"shm", "pipe", "mixed", "in-process"}
+        assert config["degraded"] == (config["transport"] == "in-process")
+
+    assert one["speedup_vs_in_process"] >= SINGLE_WORKER_FLOOR, result
 
     cores = os.cpu_count() or 1
     if cores >= 4:
-        assert four["speedup_vs_1_worker"] >= MULTICORE_SPEEDUP_FLOOR, result
+        assert not four["degraded"], result
+        assert four["speedup_vs_in_process"] >= MULTICORE_SPEEDUP_FLOOR, result
     else:
         report()
-        report(f"only {cores} core(s): speedup floor not asserted")
+        report(f"only {cores} core(s): multicore speedup floor not asserted")
 
 
 def test_ablation_scaleout_load_balance(benchmark, report):

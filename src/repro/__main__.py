@@ -273,10 +273,13 @@ def run_stats_workload(
             CookieGenerator(descriptor, clock).generate()
             for _ in range(max(1, flows))
         ]
-        with ProcessShardExecutor(store, workers=pool_workers) as pool:
+        with ProcessShardExecutor.auto(store, workers=pool_workers) as pool:
             pool.match_batch(cookies + cookies[: len(cookies) // 4],
                              clock_now)
             pool.register_telemetry(registry, prefix="pool")
+            # Transport internals too: ring/pipe dispatch mix, degrade
+            # flag — the CLI is where an operator would look for them.
+            pool.register_transport_telemetry(registry, prefix="pool.shm")
             # Snapshot while workers are alive: the pool collector polls
             # each worker process on demand.
             return registry.snapshot()

@@ -9,16 +9,25 @@ own **worker process** with a private :class:`~repro.core.matcher.
 CookieMatcher`, replica :class:`~repro.core.store.DescriptorStore`, and
 replay cache.
 
-Two layers:
+Three layers:
 
 - a **batch wire codec** — :func:`encode_batch` / :func:`decode_batch`
   frame a cookie vector as one ``bytes`` blob built on the existing
   48-byte :meth:`Cookie.to_bytes` form, and :func:`encode_verdicts` /
   :func:`decode_verdicts` pack the reply as ``(reason code, descriptor
   id)`` records.  No ``Cookie`` or descriptor **object** ever crosses
-  the process boundary, and nothing is pickled on the hot path: a
-  dispatch is one ``send_bytes`` per shard and one packed verdict array
-  back.
+  the process boundary, and nothing is pickled on the hot path.
+- a **transport ladder** (PROTOCOL.md §12) — batch frames travel over
+  per-shard :class:`~repro.core.shm_ring.ShmRing` pairs by default: a
+  dispatch is one bounded memcpy into shared memory per shard and one
+  polled read back, zero syscalls in steady state.  Pipes remain the
+  control channel (descriptor deltas, stats, probes, shutdown) and the
+  fallback transport (ring setup failure, frames too large for a
+  slot, post-restart re-dispatch).  Below both sits the **in-process
+  degrade mode**: on boxes where worker processes cannot win
+  (``os.cpu_count() < 2``), :meth:`ProcessShardExecutor.auto` serves
+  every shard from in-process matchers so the abstraction never costs
+  2x on a CI box.
 - a :class:`ProcessShardExecutor` — the multi-process drop-in for
   :class:`~repro.core.distributed.ShardedVerifierPool`: same
   ``match`` / ``match_batch`` / ``shard_for`` / telemetry surface, same
@@ -26,20 +35,24 @@ Two layers:
   (per-shard ordering, replay/NCT rules of PROTOCOL.md §9-§10).
 
 Failure model (PROTOCOL.md §10): a crashed worker is detected at the
-next dispatch (broken pipe / EOF / reply timeout), restarted with a
-**cold replay cache**, re-seeded from the dispatcher's descriptor
-store, and counted in ``PoolStats.shard_restarts`` — the same
-fail-closed trade-off an NFV pool makes when it replaces a dead
-instance: the pool keeps verifying (no deadlock, no dropped dispatch)
-at the cost of one shard's replay window starting empty.
+next dispatch (broken pipe / EOF / reply timeout — on the ring
+transport, an unanswered sequence word plus a failed liveness check),
+restarted with a **cold replay cache** and fresh rings, re-seeded from
+the dispatcher's descriptor store, and counted in
+``PoolStats.shard_restarts`` — the same fail-closed trade-off an NFV
+pool makes when it replaces a dead instance: the pool keeps verifying
+(no deadlock, no dropped dispatch) at the cost of one shard's replay
+window starting empty.
 """
 
 from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import struct
 import time
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from .cookie import COOKIE_WIRE_BYTES, Cookie
@@ -48,6 +61,13 @@ from .distributed import PoolStats, rendezvous_shard
 from .errors import MalformedCookie
 from .matcher import NETWORK_COHERENCY_TIME, CookieMatcher, MatchStats
 from .resilience import RetryPolicy
+from .shm_ring import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    RingFrameTooLarge,
+    RingUnavailable,
+    ShmRing,
+)
 from .store import DescriptorStore
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
@@ -62,6 +82,7 @@ __all__ = [
     "VERDICT_CODES",
     "VERDICT_REASONS",
     "VERDICT_UNAVAILABLE",
+    "ShmTransportStats",
     "ProcessShardExecutor",
 ]
 
@@ -141,12 +162,16 @@ def decode_batch(blob: bytes) -> list[Cookie]:
 
 def encode_verdicts(verdicts: Sequence[tuple[int, int]]) -> bytes:
     """Pack ``(reason code, descriptor id)`` records into one blob."""
-    pack = _VERDICT_RECORD.pack
-    out = bytearray(_COUNT.pack(len(verdicts)))
+    out = bytearray(_COUNT.size + len(verdicts) * _VERDICT_RECORD.size)
+    _COUNT.pack_into(out, 0, len(verdicts))
+    pack_into = _VERDICT_RECORD.pack_into
+    offset = _COUNT.size
+    reason_count = len(VERDICT_REASONS)
     for code, descriptor_id in verdicts:
-        if not 0 <= code < len(VERDICT_REASONS):
+        if not 0 <= code < reason_count:
             raise MalformedCookie(f"verdict code {code} out of range")
-        out += pack(code, descriptor_id)
+        pack_into(out, offset, code, descriptor_id)
+        offset += _VERDICT_RECORD.size
     return bytes(out)
 
 
@@ -165,15 +190,11 @@ def decode_verdicts(blob: bytes) -> list[tuple[int, int]]:
             f"verdict frame announces {count} verdicts "
             f"({count * _VERDICT_RECORD.size} bytes) but carries {body}"
         )
-    unpack_from = _VERDICT_RECORD.unpack_from
-    verdicts = []
-    for index in range(count):
-        code, descriptor_id = unpack_from(
-            blob, _COUNT.size + index * _VERDICT_RECORD.size
-        )
-        if code >= len(VERDICT_REASONS):
+    verdicts = list(_VERDICT_RECORD.iter_unpack(memoryview(blob)[_COUNT.size :]))
+    reason_count = len(VERDICT_REASONS)
+    for code, _descriptor_id in verdicts:
+        if code >= reason_count:
             raise MalformedCookie(f"unknown verdict code {code}")
-        verdicts.append((code, descriptor_id))
     return verdicts
 
 
@@ -189,12 +210,35 @@ _OP_QUIT = b"Q"   #                               -> b"\x01" ack, exit
 
 _NOW = struct.Struct("!d")
 
+#: How many empty ring polls a worker burns after its last frame before
+#: parking on the control pipe; one poll is a handful of interpreted
+#: bytecodes, so this is roughly a millisecond of hot window — enough to
+#: catch the dispatcher's next frame of a streaming dispatch without a
+#: single syscall.
+_WORKER_HOT_SPINS = 4096
+#: Parked-worker wakeup quantum: the worker sleeps in ``conn.poll`` (so
+#: control frames wake it instantly) and re-checks the ring this often.
+_WORKER_IDLE_POLL_S = 0.001
+#: How long a worker pushes into a full response ring before concluding
+#: the dispatcher is gone and exiting (the executor would restart it).
+_WORKER_PUSH_TIMEOUT_S = 60.0
 
-def _worker_main(conn, nct: float, seed_json: str) -> None:
+
+def _worker_main(
+    conn,
+    nct: float,
+    seed_json: str,
+    rings: tuple[ShmRing, ShmRing] | None = None,
+    ring_names: tuple[str, str] | None = None,
+) -> None:
     """Verifier shard loop: one matcher over a replica store.
 
     The replica is seeded from JSON at start (control plane — the hot
     path never serializes descriptors) and updated by delta frames.
+    Batch frames arrive on the request ring when the shard has one
+    (``rings`` under fork, ``ring_names`` under spawn) and their verdict
+    frames return on the response ring; the pipe carries control ops and
+    fallback batches, each answered on the channel it arrived on.
     Any malformed frame terminates the worker: the dispatcher treats
     that as a crash and restarts the shard — failing closed beats
     verifying against a state we no longer trust.
@@ -205,31 +249,72 @@ def _worker_main(conn, nct: float, seed_json: str) -> None:
     matcher = CookieMatcher(store, nct=nct)
     codes = VERDICT_CODES
     accepted_code = VERDICT_ACCEPTED
+
+    req_ring = resp_ring = None
+    if rings is not None:
+        # fork: inherited mappings; the dispatcher owns their lifetime.
+        req_ring, resp_ring = rings
+        req_ring.disown()
+        resp_ring.disown()
+    elif ring_names is not None:
+        try:
+            req_ring = ShmRing.attach(ring_names[0])
+            resp_ring = ShmRing.attach(ring_names[1])
+        except RingUnavailable:
+            # The dispatcher believes this shard speaks shm; serving the
+            # pipe only would deadlock its ring waits.  Die loudly and
+            # let the recovery ladder decide.
+            conn.close()
+            raise
+
+    def batch_reply(frame: bytes) -> bytes:
+        (now,) = _NOW.unpack_from(frame, 1)
+        cookies = decode_batch(frame[1 + _NOW.size :])
+        reasons: list[str] = []
+        matcher.match_batch(cookies, now, reasons=reasons)
+        return encode_verdicts(
+            [
+                (
+                    codes[reason],
+                    cookie.cookie_id
+                    if codes[reason] == accepted_code
+                    else 0,
+                )
+                for reason, cookie in zip(reasons, cookies)
+            ]
+        )
+
+    hot = 0
     try:
         while True:
-            try:
-                frame = conn.recv_bytes()
-            except (EOFError, OSError):
-                break
+            frame = None
+            via_ring = False
+            if req_ring is not None:
+                frame = req_ring.try_pop()
+                via_ring = frame is not None
+                if frame is None:
+                    if hot > 0:
+                        hot -= 1
+                        if hot & 127 == 0:
+                            time.sleep(0)
+                        continue
+                    if not conn.poll(_WORKER_IDLE_POLL_S):
+                        continue
+            if frame is None:
+                try:
+                    frame = conn.recv_bytes()
+                except (EOFError, OSError):
+                    break
+            if req_ring is not None:
+                hot = _WORKER_HOT_SPINS
             op = frame[:1]
             if op == _OP_BATCH:
-                (now,) = _NOW.unpack_from(frame, 1)
-                cookies = decode_batch(frame[1 + _NOW.size :])
-                reasons: list[str] = []
-                matcher.match_batch(cookies, now, reasons=reasons)
-                conn.send_bytes(
-                    encode_verdicts(
-                        [
-                            (
-                                codes[reason],
-                                cookie.cookie_id
-                                if codes[reason] == accepted_code
-                                else 0,
-                            )
-                            for reason, cookie in zip(reasons, cookies)
-                        ]
-                    )
-                )
+                reply = batch_reply(frame)
+                if via_ring:
+                    if not resp_ring.push(reply, _WORKER_PUSH_TIMEOUT_S):
+                        break  # dispatcher stopped draining; restart cycle
+                else:
+                    conn.send_bytes(reply)
             elif op == _OP_DELTA:
                 for delta in json.loads(frame[1:].decode("utf-8")):
                     action = delta["op"]
@@ -267,6 +352,9 @@ def _worker_main(conn, nct: float, seed_json: str) -> None:
         pass  # exit; the dispatcher restarts the shard fail-closed
     finally:
         conn.close()
+        for ring in (req_ring, resp_ring):
+            if ring is not None:
+                ring.close()
 
 
 def _zero_worker_stats() -> dict:
@@ -286,6 +374,39 @@ def _sum_worker_stats(snapshots: Sequence[dict]) -> dict:
     return total
 
 
+@dataclass
+class ShmTransportStats:
+    """Counters for the shared-memory transport (PROTOCOL.md §12)."""
+
+    #: Sub-batches that travelled request-ring → response-ring.
+    ring_dispatches: int = 0
+    #: Sub-batches that travelled the pipe instead (no ring for the
+    #: shard, oversize frame, or post-restart re-dispatch).
+    pipe_dispatches: int = 0
+    #: Frame bytes written to request rings / read from response rings.
+    bytes_out: int = 0
+    bytes_in: int = 0
+    #: Frames that exceeded a slot's payload capacity and fell back to
+    #: the pipe for that dispatch (the frame is never fragmented).
+    oversize_pipe_fallbacks: int = 0
+    #: Dispatches that found the request ring momentarily full and had
+    #: to spin before publishing.
+    backpressure_waits: int = 0
+    #: Shard spawns whose ring allocation failed (shard degraded to the
+    #: pipe transport).
+    ring_setup_failures: int = 0
+    #: Worker stats polls actually sent vs served from the interval
+    #: cache (``stats_interval``).
+    stats_polls: int = 0
+    stats_cache_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+_TRANSPORTS = ("auto", "shm", "pipe", "in-process")
+
+
 # ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
@@ -299,9 +420,21 @@ class ProcessShardExecutor:
     same cookie stream yields identical verdicts, identical per-shard
     :class:`MatchStats`, identical merged telemetry (the differential
     suite in ``tests/core/test_parallel_differential.py`` pins this).
-    The speedup comes from real parallelism: one ``match_batch`` fans
-    sub-batches out to every involved worker before collecting any
-    reply, so shards verify concurrently on separate cores.
+    The speedup comes from real parallelism with cheap IPC: batch
+    frames cross per-shard shared-memory rings (one bounded memcpy and
+    one sequence-word store per direction — no syscall, no kernel
+    copy), and the dispatch is pipelined — shard N's frame is encoded
+    and published while shard N-1's worker is already verifying, then
+    replies are collected in publish order.
+
+    ``transport`` selects the hot path: ``"auto"`` (rings, falling back
+    to pipes per shard if shared memory is unavailable), ``"shm"``
+    (same; the name documents intent), ``"pipe"`` (PR-3 behaviour), or
+    ``"in-process"`` (degrade mode: no worker processes at all — every
+    shard is served by an in-process matcher over the dispatcher's
+    store, for single-core boxes where process IPC can only lose; use
+    :meth:`auto` to pick this automatically).  Pipes always remain the
+    control channel and the re-dispatch path.
 
     Descriptors: the executor snapshots ``store`` into each worker at
     spawn and replays control-plane changes via :meth:`add_descriptor` /
@@ -312,15 +445,24 @@ class ProcessShardExecutor:
 
     Crash handling is a ladder (PROTOCOL.md §11): a dead worker is
     detected at the next dispatch or stats poll and restarted cold with
-    backoff (``restart_backoff``, counted in ``stats.shard_restarts``);
-    the in-flight sub-batch is re-dispatched once.  A shard that dies
-    *again* during the re-dispatch fails its sub-batch closed — every
-    cookie answers ``None`` with the dispatcher-level reason
+    backoff and fresh rings (``restart_backoff``, counted in
+    ``stats.shard_restarts``); the in-flight sub-batch is re-dispatched
+    once over the pipe.  A shard that dies *again* during the
+    re-dispatch fails its sub-batch closed — every cookie answers
+    ``None`` with the dispatcher-level reason
     :data:`VERDICT_UNAVAILABLE` — rather than raising.  A shard that
     burns through ``max_restarts`` is permanently served by an
     **in-process fallback matcher** over the dispatcher's own store
     (``stats.fallbacks``): slower, but a dispatch never raises because a
     worker died.
+
+    ``stats_interval`` > 0 amortizes worker stats polling: collections
+    within the interval are served from the last snapshot (plus live
+    in-process matchers) instead of a per-call pipe round-trip per
+    worker.  Per-worker snapshots are epoch-tagged so a worker that is
+    polled, restarted, and merged again inside one interval is never
+    summed twice (its last snapshot moves into the retired totals the
+    moment the old incarnation is reaped).
 
     Use as a context manager, or call :meth:`close`.
     """
@@ -336,6 +478,10 @@ class ProcessShardExecutor:
         max_restarts: int = 3,
         restart_backoff: RetryPolicy | None = None,
         sleep: Callable[[float], None] | None = time.sleep,
+        transport: str = "auto",
+        ring_slots: int = DEFAULT_SLOTS,
+        ring_slot_bytes: int = DEFAULT_SLOT_BYTES,
+        stats_interval: float = 0.0,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -343,6 +489,12 @@ class ProcessShardExecutor:
             raise ValueError("reply timeout must be positive")
         if max_restarts < 0:
             raise ValueError("max_restarts must be non-negative")
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORTS}, got {transport!r}"
+            )
+        if stats_interval < 0:
+            raise ValueError("stats_interval must be non-negative")
         self.store = store
         self.nct = nct
         self.reply_timeout = reply_timeout
@@ -354,34 +506,156 @@ class ProcessShardExecutor:
         )
         self._sleep = sleep
         self.stats = PoolStats()
+        self.shm_stats = ShmTransportStats()
+        self._use_rings = transport in ("auto", "shm")
+        self._degraded = transport == "in-process"
+        self._ring_slots = ring_slots
+        self._ring_slot_bytes = ring_slot_bytes
+        self.stats_interval = stats_interval
         if start_method is None:
             # fork is milliseconds; spawn is the portable fallback.
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
+        self._start_method = start_method
         self._ctx = multiprocessing.get_context(start_method)
         self._worker_count = workers
         self._conns: list = [None] * workers
         self._procs: list = [None] * workers
+        self._rings: list[tuple[ShmRing, ShmRing] | None] = [None] * workers
         # Stats carried over from crashed workers (last successful poll)
-        # so merged counters stay monotonic across restarts.
+        # so merged counters stay monotonic across restarts.  Cached
+        # per-worker snapshots are epoch-tagged: a snapshot only counts
+        # while its worker incarnation is alive — the moment that
+        # incarnation is reaped, the snapshot moves into the retired
+        # totals and its epoch tag goes stale, so retired + cached can
+        # never double-count one worker's history (the satellite bug
+        # class of ISSUE 6).
         self._retired_stats = _zero_worker_stats()
         self._last_polled = [_zero_worker_stats() for _ in range(workers)]
+        self._epoch = [0] * workers
+        self._polled_epoch = [0] * workers
+        self._stats_polled_at: float | None = None
         self._restart_counts = [0] * workers
         self._fallback_matchers: dict[int, CookieMatcher] = {}
         self._shard_memo: dict[int, int] = {}
         self._closed = False
-        for index in range(workers):
-            self._spawn(index)
+        if self._degraded:
+            for index in range(workers):
+                self._fallback_matchers[index] = CookieMatcher(
+                    self.store, nct=self.nct
+                )
+        else:
+            try:
+                for index in range(workers):
+                    self._spawn(index)
+            except BaseException:
+                self.close()
+                raise
+
+    @classmethod
+    def auto(
+        cls,
+        store: DescriptorStore,
+        workers: int,
+        nct: float = NETWORK_COHERENCY_TIME,
+        *,
+        min_cores: int = 2,
+        stats_interval: float = 0.25,
+        **kwargs,
+    ) -> "ProcessShardExecutor":
+        """Build an executor on the best transport this box supports.
+
+        The degrade ladder's bottom rung (PROTOCOL.md §12): on a box
+        with fewer than ``min_cores`` CPUs a worker process can only
+        time-slice against the dispatcher, so the multi-process
+        abstraction is served **in-process** (no workers, no IPC, ≈1x
+        the in-process pool instead of the 0.45x the pipe transport
+        measured on 1 core).  With enough cores, rings are tried first
+        and pipes remain the per-shard fallback.  Worker-stats polling
+        is interval-cached by default (``stats_interval``); pass ``0``
+        to poll every collection.
+        """
+        if (os.cpu_count() or 1) < min_cores:
+            return cls(
+                store,
+                workers,
+                nct,
+                transport="in-process",
+                stats_interval=stats_interval,
+                **kwargs,
+            )
+        try:
+            return cls(
+                store,
+                workers,
+                nct,
+                transport="auto",
+                stats_interval=stats_interval,
+                **kwargs,
+            )
+        except OSError:
+            # Cannot even start worker processes: serve in-process.
+            return cls(
+                store,
+                workers,
+                nct,
+                transport="in-process",
+                stats_interval=stats_interval,
+                **kwargs,
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _make_rings(self, index: int) -> tuple[ShmRing, ShmRing] | None:
+        """A fresh request/response ring pair, or None (pipe shard)."""
+        if not self._use_rings:
+            return None
+        try:
+            request = ShmRing.create(
+                slots=self._ring_slots, slot_bytes=self._ring_slot_bytes
+            )
+        except RingUnavailable:
+            self.shm_stats.ring_setup_failures += 1
+            return None
+        try:
+            # Verdict records are 9 B to the request's 48 B per cookie,
+            # so a quarter-size response slot still fits any batch whose
+            # request fit.
+            response = ShmRing.create(
+                slots=self._ring_slots,
+                slot_bytes=max(4096, self._ring_slot_bytes // 4),
+            )
+        except RingUnavailable:
+            request.close()
+            self.shm_stats.ring_setup_failures += 1
+            return None
+        return request, response
+
+    def _close_rings(self, index: int) -> None:
+        rings = self._rings[index]
+        if rings is not None:
+            self._rings[index] = None
+            for ring in rings:
+                ring.close()
+
     def _spawn(self, index: int) -> None:
         seed = json.dumps([d.to_json() for d in self.store])
         parent_conn, child_conn = self._ctx.Pipe()
+        rings = self._make_rings(index)
+        if rings is None or self._start_method == "fork":
+            args = (child_conn, self.nct, seed, rings, None)
+        else:
+            args = (
+                child_conn,
+                self.nct,
+                seed,
+                None,
+                (rings[0].name, rings[1].name),
+            )
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.nct, seed),
+            args=args,
             name=f"cookie-shard-{index}",
             daemon=True,
         )
@@ -389,6 +663,11 @@ class ProcessShardExecutor:
         child_conn.close()
         self._conns[index] = parent_conn
         self._procs[index] = process
+        self._rings[index] = rings
+        # A fresh incarnation: open a new stats epoch with a clean
+        # snapshot (anything its predecessor reported is in retired).
+        self._epoch[index] += 1
+        self._polled_epoch[index] = self._epoch[index]
         self._last_polled[index] = _zero_worker_stats()
 
     def _reap(self, index: int) -> None:
@@ -406,11 +685,16 @@ class ProcessShardExecutor:
             if process.is_alive():  # pragma: no cover - terminate ignored
                 process.kill()
                 process.join(timeout=5.0)
-        # Keep whatever the dead worker last reported; everything it
-        # counted since that poll is lost with it (documented in §10).
-        self._retired_stats = _sum_worker_stats(
-            [self._retired_stats, self._last_polled[index]]
-        )
+        self._close_rings(index)
+        # Retire whatever the dead incarnation last reported — exactly
+        # once: the epoch tag goes stale here, so no later merge can add
+        # the same snapshot again.  Everything it counted since that
+        # poll is lost with it (documented in §10).
+        if self._polled_epoch[index] == self._epoch[index]:
+            self._retired_stats = _sum_worker_stats(
+                [self._retired_stats, self._last_polled[index]]
+            )
+            self._polled_epoch[index] = -1
         self._last_polled[index] = _zero_worker_stats()
 
     def _restart(self, index: int) -> None:
@@ -448,8 +732,46 @@ class ProcessShardExecutor:
         self._restart(index)
 
     @property
+    def degraded(self) -> bool:
+        """True when this executor is the single-core degrade mode:
+        every shard served in-process, no worker processes at all."""
+        return self._degraded
+
+    @property
+    def transport(self) -> str:
+        """The batch transport actually in use: ``"in-process"``
+        (degrade mode), ``"shm"``, ``"pipe"``, or ``"mixed"`` (some
+        shards lost their rings and run on pipes)."""
+        if self._degraded:
+            return "in-process"
+        kinds = {
+            kind
+            for kind in self.shard_transports()
+            if kind != "in-process"  # crash-fallback shards don't vote
+        }
+        if not kinds:
+            return "in-process"  # every shard crashed into fallback
+        if len(kinds) > 1:
+            return "mixed"
+        return kinds.pop()
+
+    def shard_transports(self) -> list[str]:
+        """Per-shard batch transport: ``"shm"``, ``"pipe"``, or
+        ``"in-process"`` (degrade mode or crash fallback)."""
+        return [
+            "in-process"
+            if index in self._fallback_matchers
+            else ("shm" if self._rings[index] is not None else "pipe")
+            for index in range(self._worker_count)
+        ]
+
+    @property
     def fallback_shards(self) -> list[int]:
-        """Shards currently served by the in-process fallback matcher."""
+        """Shards retired to the in-process fallback matcher by the
+        crash ladder.  Empty in degrade mode: there, in-process service
+        is the configuration, not a failure."""
+        if self._degraded:
+            return []
         return sorted(self._fallback_matchers)
 
     def worker_pids(self) -> list[int | None]:
@@ -511,7 +833,7 @@ class ProcessShardExecutor:
             return
         self._closed = True
         for conn in self._conns:
-            if conn is None:  # shard retired to fallback
+            if conn is None:  # shard retired to fallback, or never spawned
                 continue
             try:
                 conn.send_bytes(_OP_QUIT)
@@ -530,6 +852,8 @@ class ProcessShardExecutor:
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=5.0)
+        for index in range(self._worker_count):
+            self._close_rings(index)
 
     def __enter__(self) -> "ProcessShardExecutor":
         return self
@@ -560,8 +884,8 @@ class ProcessShardExecutor:
         return self._shard_index(descriptor.cookie_id)
 
     def _roundtrip(self, index: int, frame: bytes) -> bytes:
-        """Send one frame and wait for the reply, bounded by the
-        timeout; raises on a dead or unresponsive worker."""
+        """Send one frame over the pipe and wait for the reply, bounded
+        by the timeout; raises on a dead or unresponsive worker."""
         conn = self._conns[index]
         conn.send_bytes(frame)
         if not conn.poll(self.reply_timeout):
@@ -569,6 +893,65 @@ class ProcessShardExecutor:
                 f"shard {index} gave no reply within {self.reply_timeout}s"
             )
         return conn.recv_bytes()
+
+    def _send_sub_batch(self, shard: int, frame: bytes) -> str | None:
+        """Publish one sub-batch on the shard's best transport.
+
+        Returns the channel the reply will arrive on (``"ring"`` or
+        ``"pipe"``), or None if the shard is unreachable (dead worker /
+        full ring past the timeout) — the caller walks the recovery
+        ladder.
+        """
+        rings = self._rings[shard]
+        if rings is not None:
+            request, _response = rings
+            try:
+                process = self._procs[shard]
+                if not request.try_push(frame):
+                    self.shm_stats.backpressure_waits += 1
+                    if not request.push(
+                        frame,
+                        timeout=self.reply_timeout,
+                        should_abort=lambda: not process.is_alive(),
+                    ):
+                        return None
+                self.shm_stats.ring_dispatches += 1
+                self.shm_stats.bytes_out += len(frame)
+                return "ring"
+            except RingFrameTooLarge:
+                self.shm_stats.oversize_pipe_fallbacks += 1
+                # fall through to the pipe for this dispatch
+        try:
+            self._conns[shard].send_bytes(frame)
+        except (OSError, BrokenPipeError, ValueError):
+            return None
+        self.shm_stats.pipe_dispatches += 1
+        return "pipe"
+
+    def _collect_sub_batch(self, shard: int, channel: str) -> bytes | None:
+        """The reply matching :meth:`_send_sub_batch`, or None on a
+        dead/unresponsive worker."""
+        if channel == "ring":
+            _request, response = self._rings[shard]
+            process = self._procs[shard]
+            reply = response.pop(
+                self.reply_timeout,
+                should_abort=lambda: not process.is_alive(),
+            )
+            if reply is None:
+                # The worker may have published and *then* died — drain
+                # one last time before declaring the sub-batch lost.
+                reply = response.try_pop()
+            if reply is not None:
+                self.shm_stats.bytes_in += len(reply)
+            return reply
+        try:
+            conn = self._conns[shard]
+            if not conn.poll(self.reply_timeout):
+                return None
+            return conn.recv_bytes()
+        except (OSError, EOFError):
+            return None
 
     def match(self, cookie: Cookie, now: float) -> CookieDescriptor | None:
         """Scalar verification — a batch of one through the same wire."""
@@ -585,16 +968,20 @@ class ProcessShardExecutor:
         Cookies group per shard by memoized rendezvous assignment,
         preserving relative order within each shard's sub-batch (the
         only order replay detection can depend on — all cookies of a
-        descriptor land on one shard).  All sub-batches are *sent*
-        before any reply is *collected*, so workers verify in parallel.
+        descriptor land on one shard).  Dispatch is pipelined: each
+        shard's frame is encoded and published before the next shard's
+        is encoded, so shard N's worker verifies while the dispatcher
+        still serializes shard N+1 (double-buffering across shards);
+        replies are then collected in publish order.
 
         Never raises for worker death.  A shard that dies mid-dispatch
-        is restarted (with backoff) and its sub-batch re-dispatched
-        once; a second death fails that sub-batch closed — ``None``
-        verdicts with the :data:`VERDICT_UNAVAILABLE` reason — and a
-        shard past ``max_restarts`` is served by the in-process
-        fallback matcher instead.  ``reasons``, if given, receives one
-        reason string per cookie (:data:`VERDICT_REASONS` names, or
+        is restarted (with backoff, on fresh rings) and its sub-batch
+        re-dispatched once over the pipe; a second death fails that
+        sub-batch closed — ``None`` verdicts with the
+        :data:`VERDICT_UNAVAILABLE` reason — and a shard past
+        ``max_restarts`` is served by the in-process fallback matcher
+        instead.  ``reasons``, if given, receives one reason string per
+        cookie (:data:`VERDICT_REASONS` names, or
         ``verifier_unavailable``).
         """
         if not cookies:
@@ -605,40 +992,41 @@ class ProcessShardExecutor:
             per_shard.setdefault(
                 shard_index_for(cookie.cookie_id), []
             ).append(position)
-        # Shards already in fallback verify locally; the rest get frames.
+        # Pipelined fan-out: encode shard k's frame, publish it, only
+        # then encode shard k+1's — workers overlap the dispatcher's
+        # remaining serialization.  Shards already in fallback verify
+        # locally after the collection pass.
         local: dict[int, list[int]] = {}
         frames: dict[int, bytes] = {}
+        channels: dict[int, str] = {}
+        failed: list[int] = []
+        header = _OP_BATCH + _NOW.pack(now)
         for shard, positions in per_shard.items():
             if shard in self._fallback_matchers:
                 local[shard] = positions
-            else:
-                frames[shard] = (
-                    _OP_BATCH
-                    + _NOW.pack(now)
-                    + encode_batch(
-                        [cookies[position] for position in positions]
-                    )
-                )
-        # Fan out: send every sub-batch before collecting any reply.
-        failed: list[int] = []
-        for shard, frame in frames.items():
-            try:
-                self._conns[shard].send_bytes(frame)
-            except (OSError, BrokenPipeError, ValueError):
-                failed.append(shard)
-        # Collect.
-        replies: dict[int, bytes] = {}
-        for shard in frames:
-            if shard in failed:
                 continue
-            try:
-                conn = self._conns[shard]
-                if not conn.poll(self.reply_timeout):
-                    raise TimeoutError
-                replies[shard] = conn.recv_bytes()
-            except (OSError, EOFError, TimeoutError):
+            frame = (
+                header
+                + _COUNT.pack(len(positions))
+                + b"".join(
+                    cookies[position].to_bytes() for position in positions
+                )
+            )
+            frames[shard] = frame
+            channel = self._send_sub_batch(shard, frame)
+            if channel is None:
                 failed.append(shard)
-        # Recover: restart each failed shard, re-dispatch synchronously.
+            else:
+                channels[shard] = channel
+        # Collect in publish order.
+        replies: dict[int, bytes] = {}
+        for shard in channels:
+            reply = self._collect_sub_batch(shard, channels[shard])
+            if reply is None:
+                failed.append(shard)
+            else:
+                replies[shard] = reply
+        # Recover: restart each failed shard, re-dispatch over the pipe.
         unavailable: list[int] = []
         for shard in failed:
             self._restart(shard)
@@ -766,51 +1154,89 @@ class ProcessShardExecutor:
     # ------------------------------------------------------------------
     # Stats and telemetry
     # ------------------------------------------------------------------
-    def collect_worker_stats(self) -> list[dict]:
-        """Poll every worker's stats snapshot on demand.
+    def _live_fallback_stats(self, index: int) -> dict:
+        matcher = self._fallback_matchers[index]
+        cache = matcher.replay_cache
+        return {
+            "match": matcher.stats.as_dict(),
+            "replay_cache": {
+                "rotations": cache.rotations,
+                "idle_resets": cache.idle_resets,
+                "size": cache.size,
+            },
+        }
 
-        A worker that fails to answer is restarted (counted in
-        ``shard_restarts``) and reports its last successful poll, so
-        the collection itself can never hang the caller.  Fallback
-        shards report their in-process matcher in the same shape.
+    def collect_worker_stats(self, force: bool = False) -> list[dict]:
+        """Every worker's stats snapshot, one dict per shard.
+
+        With ``stats_interval`` > 0, collections inside the interval are
+        served from the cached snapshots (in-process matchers are always
+        read live — they cost nothing) instead of one pipe round-trip
+        per worker per call; pass ``force=True`` to poll regardless.
+
+        Polls are epoch-consistent: a worker that fails to answer is
+        restarted (counted in ``shard_restarts``) and reports **zeros**
+        for the new incarnation — its last snapshot has just moved into
+        the retired totals, so merged views count it exactly once.  The
+        collection itself can never hang the caller.
         """
+        now = time.monotonic()
+        if (
+            not force
+            and self.stats_interval > 0
+            and self._stats_polled_at is not None
+            and now - self._stats_polled_at < self.stats_interval
+        ):
+            self.shm_stats.stats_cache_hits += 1
+            return [
+                self._live_fallback_stats(index)
+                if index in self._fallback_matchers
+                else (
+                    self._last_polled[index]
+                    if self._polled_epoch[index] == self._epoch[index]
+                    else _zero_worker_stats()
+                )
+                for index in range(self._worker_count)
+            ]
         snapshots: list[dict] = []
         for index in range(self._worker_count):
-            matcher = self._fallback_matchers.get(index)
-            if matcher is not None:
-                cache = matcher.replay_cache
-                snapshots.append(
-                    {
-                        "match": matcher.stats.as_dict(),
-                        "replay_cache": {
-                            "rotations": cache.rotations,
-                            "idle_resets": cache.idle_resets,
-                            "size": cache.size,
-                        },
-                    }
-                )
+            if index in self._fallback_matchers:
+                snapshots.append(self._live_fallback_stats(index))
                 continue
             try:
+                self.shm_stats.stats_polls += 1
                 reply = self._roundtrip(index, _OP_STATS)
                 snapshot = json.loads(reply.decode("utf-8"))
             except (OSError, EOFError, TimeoutError, BrokenPipeError,
                     ValueError):
-                snapshot = self._last_polled[index]
+                # The reap inside the restart retires this worker's last
+                # snapshot; the shard's contribution to *this* merge is
+                # the new incarnation's (empty) view — appending the old
+                # snapshot here as well would count it twice.
                 self._restart(index)
-                snapshots.append(snapshot)
+                if index in self._fallback_matchers:
+                    snapshots.append(self._live_fallback_stats(index))
+                else:
+                    snapshots.append(_zero_worker_stats())
                 continue
             self._last_polled[index] = snapshot
+            self._polled_epoch[index] = self._epoch[index]
             snapshots.append(snapshot)
+        self._stats_polled_at = now
         return snapshots
+
+    def _merged_worker_stats(self, force: bool = False) -> dict:
+        # Collect FIRST: a collection that trips a restart moves that
+        # worker's cached snapshot into the retired totals, and the
+        # retired totals must be read after that move, not before.
+        snapshots = self.collect_worker_stats(force=force)
+        return _sum_worker_stats([self._retired_stats] + snapshots)
 
     def collect_match_stats(self) -> MatchStats:
         """Merged :class:`MatchStats` across live workers and any stats
         retired by crashes — comparable to summing the in-process pool's
         per-shard matcher stats."""
-        total = _sum_worker_stats(
-            [self._retired_stats] + self.collect_worker_stats()
-        )
-        return MatchStats(**total["match"])
+        return MatchStats(**self._merged_worker_stats()["match"])
 
     def register_telemetry(
         self, registry: "MetricsRegistry", prefix: str = "pool"
@@ -820,14 +1246,15 @@ class ProcessShardExecutor:
         Emits the same metric names as
         :meth:`ShardedVerifierPool.register_telemetry`, so dashboards
         and the differential suite see in-process and multi-process
-        pools identically.
+        pools identically.  Transport internals (``pool.shm.*``) are a
+        separate opt-in collector — :meth:`register_transport_telemetry`
+        — precisely because the in-process pool has no counterpart for
+        them.
         """
         from ..telemetry import TelemetrySnapshot
 
         def collect() -> TelemetrySnapshot:
-            total = _sum_worker_stats(
-                [self._retired_stats] + self.collect_worker_stats()
-            )
+            total = self._merged_worker_stats()
             counters = {
                 f"{prefix}.matcher.{outcome}": count
                 for outcome, count in total["match"].items()
@@ -852,7 +1279,33 @@ class ProcessShardExecutor:
                         total["replay_cache"]["size"]
                     ),
                     f"{prefix}.shards": self._worker_count,
-                    f"{prefix}.fallback_shards": len(self._fallback_matchers),
+                    f"{prefix}.fallback_shards": len(self.fallback_shards),
+                },
+            )
+
+        registry.register_collector(prefix, collect)
+
+    def register_transport_telemetry(
+        self, registry: "MetricsRegistry", prefix: str = "pool.shm"
+    ) -> None:
+        """Export the shared-memory transport counters (PROTOCOL.md
+        §12): ring vs pipe dispatch mix, ring bytes both ways, oversize
+        and backpressure events, stats-poll amortization, and gauges for
+        the live transport ladder position (ring/pipe shard counts and
+        the degrade flag)."""
+        from ..telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            kinds = self.shard_transports()
+            return TelemetrySnapshot(
+                counters={
+                    f"{prefix}.{name}": value
+                    for name, value in self.shm_stats.as_dict().items()
+                },
+                gauges={
+                    f"{prefix}.ring_shards": kinds.count("shm"),
+                    f"{prefix}.pipe_shards": kinds.count("pipe"),
+                    f"{prefix}.degraded": 1 if self._degraded else 0,
                 },
             )
 
