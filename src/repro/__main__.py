@@ -11,6 +11,7 @@ Usage::
     python -m repro table1               # the property matrix
     python -m repro sec3                 # DPI limitations on cnn.com
     python -m repro sec46 [--scale S]   # campus trace replay
+    python -m repro audit [--json]      # adversarial neutrality audit
 
 Benchmarks (`pytest benchmarks/ --benchmark-only`) assert the shapes; this
 runner just prints them for a human.
@@ -111,7 +112,8 @@ def _cmd_sec46(args) -> None:
 def _cmd_stats(args) -> None:
     """One merged telemetry snapshot for a synthetic data-path workload."""
     snapshot = run_stats_workload(
-        flows=args.flows, packets_per_flow=6, pool_workers=args.pool_workers
+        flows=args.flows, packets_per_flow=6, pool_workers=args.pool_workers,
+        include_audit=args.audit,
     )
     if args.json:
         print(snapshot.to_json())
@@ -120,9 +122,44 @@ def _cmd_stats(args) -> None:
         if args.pool_workers:
             detail = (f" + {args.pool_workers}-worker process verifier "
                       "pool")
+        if args.audit:
+            detail += " + neutrality-audit campaign"
         print(f"telemetry snapshot — {args.flows} flows through "
               f"cookie switch + zero-rating middlebox{detail}")
         print(snapshot.format_text())
+
+
+def _cmd_audit(args) -> None:
+    """Adversarial neutrality audit: honest stack + malicious personas."""
+    from repro.experiments import AuditCampaignConfig, run_audit
+
+    config = AuditCampaignConfig(
+        seed=args.seed,
+        trials=args.trials,
+        personas=tuple(args.personas) if args.personas else None,
+    )
+    try:
+        report = run_audit(config)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"neutrality audit — seed {config.seed}, "
+              f"{config.trials} matched trials per element, "
+              f"alpha {config.alpha}")
+        for key, value in report.summary().items():
+            print(f"  {key}: {value}")
+        print(f"\n{'persona':<23}{'element':<21}{'expected':<10}"
+              f"{'verdict':<10}{'flagged dimensions'}")
+        for row in report.table_rows():
+            print(f"{row['persona']:<23}{row['element']:<21}"
+                  f"{row['expected']:<10}{row['verdict']:<10}"
+                  f"{row['dimensions']}")
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+    if not report.ok:
+        raise SystemExit(1)
 
 
 def _cmd_chaos(args) -> None:
@@ -185,6 +222,7 @@ def run_stats_workload(
     flows: int = 200,
     packets_per_flow: int = 6,
     pool_workers: int | None = None,
+    include_audit: bool = False,
 ):
     """Drive a cookie switch and a zero-rating middlebox (each with its
     own matcher) through one registry and return the merged snapshot.
@@ -198,6 +236,11 @@ def run_stats_workload(
     same registry — its collector polls each worker process's stats on
     demand at snapshot time, so the printed snapshot includes live
     multi-process counters under the ``pool.`` prefix.
+
+    ``include_audit`` additionally runs the neutrality-audit campaign
+    (:func:`repro.experiments.run_audit`) and merges its verdict counts
+    into the same snapshot under the ``audit.`` prefix — the same
+    collector pattern as every data-plane element.
     """
     from repro.core import (
         CookieDescriptor,
@@ -266,6 +309,11 @@ def run_stats_workload(
             )
         flow_sizes.observe(count)
 
+    if include_audit:
+        from repro.experiments import AuditCampaignConfig, run_audit
+
+        run_audit(AuditCampaignConfig(), telemetry=registry)
+
     if pool_workers:
         from repro.core.parallel import ProcessShardExecutor
 
@@ -298,6 +346,7 @@ COMMANDS = {
     "stats": _cmd_stats,
     "scaleout": _cmd_scaleout,
     "chaos": _cmd_chaos,
+    "audit": _cmd_audit,
 }
 
 
@@ -332,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--pool-workers", type=int, default=0,
                        help="also run a process-shard verifier pool with "
                             "N workers and include its telemetry")
+    stats.add_argument("--audit", action="store_true",
+                       help="also run the neutrality-audit campaign and "
+                            "merge its verdict counts into the snapshot")
     scaleout = sub.add_parser(
         "scaleout",
         help="multi-core verification: in-process vs worker processes",
@@ -353,6 +405,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full soak report as JSON")
     chaos.add_argument("--skip-drills", action="store_true",
                        help="soak only; skip outage and pool-kill drills")
+    audit = sub.add_parser(
+        "audit",
+        help="adversarial neutrality audit: record/replay matched pairs "
+             "against the honest stack and six malicious personas",
+    )
+    audit.add_argument("--seed", type=int, default=20160822,
+                       help="audit seed; verdicts replay bit-identically")
+    audit.add_argument("--trials", type=int, default=12,
+                       help="matched-pair trials per element audit")
+    audit.add_argument("--personas", nargs="*",
+                       help="restrict to these persona names "
+                            "(default: all six)")
+    audit.add_argument("--json", action="store_true",
+                       help="print the full verdict report as JSON")
     return parser
 
 

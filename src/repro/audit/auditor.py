@@ -1,0 +1,1163 @@
+"""The adversarial neutrality auditor: record/replay differential harness.
+
+PAPERS.md's FairNet and Wehe detect traffic differentiation from the
+outside by replaying *matched pairs* — byte-identical streams, one
+carrying the differentiating feature and one without — and testing the
+performance/accounting delta statistically.  This module points that
+instrument at our own stack: it drives matched flow pairs (one stream
+with a valid cookie, one bare twin) through a netsim topology containing
+the element under audit, records per-flow outcomes via a
+:class:`~repro.netsim.capture.PacketCapture` tap and the element's own
+billing counters, and emits an :class:`AuditVerdict` saying which policy
+dimensions differ, with what effect size, and whether the differences
+match the *advertised* descriptor policy — and only it.
+
+The auditor plays the regulator's part end to end:
+
+- it acquires descriptors through the public control plane (a
+  :class:`~repro.core.server.CookieServer`), so every probe is also an
+  :class:`~repro.audit.log.AuditLog` entry;
+- it keeps a **reference verifier** — its own honest
+  :class:`~repro.core.matcher.CookieMatcher` over the honestly-issued
+  descriptors — so each probe cookie gets an expected verdict reason
+  (``accepted`` / ``replayed`` / ``revoked`` / ...) to compare against
+  the operator's observable behaviour;
+- beyond the matched pair it sends *negative probes*: a replayed spent
+  cookie (plus the PR-4 future-skew variant inside the 2×NCT window), a
+  cookie from a revoked descriptor, and bare flows from a second
+  subscriber (the collusion probe).  The advertised policy says all of
+  them are charged; an operator for whom any of them rides free is
+  enforcing something other than the advertised policy.
+
+Verdicts are a pure function of :class:`AuditConfig` (seeded uuids,
+seeded payload jitter, exact statistics), so a failing audit replays
+bit-identically.  :mod:`repro.audit.personas` provides the malicious
+operators the auditor must flag; :mod:`repro.experiments.audit` runs the
+full personas-times-elements campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.cookie import Cookie
+from ..core.errors import (
+    CookieError,
+    DescriptorExpired,
+    DescriptorRevoked,
+    InvalidSignature,
+    ReplayDetected,
+    StaleTimestamp,
+    UnknownDescriptor,
+)
+from ..core.generator import CookieGenerator
+from ..core.matcher import CookieMatcher, NETWORK_COHERENCY_TIME
+from ..core.server import CookieServer, ServiceOffering
+from ..core.store import DescriptorStore
+from ..core.transport import default_registry
+from ..netsim.capture import PacketCapture
+from ..netsim.events import EventLoop
+from ..netsim.middlebox import Element, ShaperElement, Sink
+from ..netsim.packet import make_tcp_packet
+from ..netsim.queues import TokenBucket
+from .stats import PairedTestResult, mean, paired_permutation_test, sign_test
+
+__all__ = [
+    "AuditConfig",
+    "FlowOutcome",
+    "VerificationRecord",
+    "DimensionResult",
+    "AuditVerdict",
+    "HarnessContext",
+    "RecordingVerifier",
+    "NeutralityAuditor",
+    "AUDIT_SEED",
+]
+
+#: The pinned CI seed (the paper's publication date, like the chaos soak).
+AUDIT_SEED = 20160822
+
+#: Simulated wall-clock epoch (cookie timestamps are unsigned on the wire).
+_EPOCH = 1_700_000_000.0
+_SERVER_IP = "93.184.216.34"
+
+_REASONS_BY_ERROR: tuple[tuple[type, str], ...] = (
+    (UnknownDescriptor, "unknown_id"),
+    (DescriptorRevoked, "revoked"),
+    (DescriptorExpired, "expired"),
+    (InvalidSignature, "bad_signature"),
+    (StaleTimestamp, "stale_timestamp"),
+    (ReplayDetected, "replayed"),
+)
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Knobs for one audit run; everything downstream is a pure function
+    of these values."""
+
+    seed: int = AUDIT_SEED
+    #: Matched-pair trials; the exact sign test over 8 all-one-direction
+    #: pairs gives p ≈ 0.008, so this is the floor for alpha = 0.01.
+    trials: int = 12
+    packets_per_flow: int = 10
+    payload_bytes: int = 600
+    #: Per-packet payload jitter (seeded, shared across a trial's matched
+    #: streams so the pair stays byte-identical).
+    payload_jitter: int = 256
+    packet_spacing_s: float = 0.05
+    #: Simulated seconds between trial starts; must exceed the replay
+    #: probes' tail (~2×NCT) so trials stay independent.
+    trial_spacing_s: float = 20.0
+    nct_s: float = NETWORK_COHERENCY_TIME
+    #: Significance level for the paired tests.
+    alpha: float = 0.01
+    #: "first-packet" rides the cookie on each flow's opening packet (the
+    #: stateful sniff-window contract); "every-packet" mints a fresh
+    #: cookie per packet (the stateless extreme, §4.6).
+    cookie_mode: str = "first-packet"
+    #: Bottleneck rate for the boost/anylink performance dimension.
+    bottleneck_bps: float = 40_000.0
+    bottleneck_burst_bytes: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+        if self.cookie_mode not in ("first-packet", "every-packet"):
+            raise ValueError(f"unknown cookie mode {self.cookie_mode!r}")
+        if self.packets_per_flow < 4:
+            raise ValueError(
+                "need >= 4 packets per flow (sniff window + payload)"
+            )
+
+
+@dataclass
+class FlowOutcome:
+    """Observable facts about one probe flow — everything here is visible
+    to an outside auditor (its own sent stream, the capture tap past the
+    element, and the subscriber's bill)."""
+
+    probe: str
+    subscriber: str
+    trial: int
+    start: float
+    sent_packets: int = 0
+    sent_bytes: int = 0
+    delivered_packets: int = 0
+    delivered_bytes: int = 0
+    #: Delivered bytes the element marked zero-rated (capture annotation).
+    free_marked_bytes: int = 0
+    #: Delivered packets carrying the fast-lane QoS mark (boost).
+    fast_lane_packets: int = 0
+    #: Delivered packets annotated with an AnyLink profile binding.
+    profile_packets: int = 0
+    #: The subscriber's bill, read from the element's counters.
+    billed_free: int = 0
+    billed_charged: int = 0
+    fct: float | None = None
+
+    @property
+    def delivered_fraction(self) -> float:
+        return self.delivered_bytes / self.sent_bytes if self.sent_bytes else 0.0
+
+    @property
+    def billed_total(self) -> int:
+        return self.billed_free + self.billed_charged
+
+    @property
+    def billed_free_fraction(self) -> float:
+        total = self.billed_total
+        return self.billed_free / total if total else 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "probe": self.probe,
+            "trial": self.trial,
+            "sent_bytes": self.sent_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "free_marked_bytes": self.free_marked_bytes,
+            "billed_free": self.billed_free,
+            "billed_charged": self.billed_charged,
+            "fct": self.fct,
+        }
+
+
+@dataclass(frozen=True)
+class VerificationRecord:
+    """One cookie presented to the element's verifier: the auditor's
+    reference reason next to the operator's observed verdict."""
+
+    time: float
+    probe: str
+    reference_reason: str
+    operator_accepted: bool
+
+
+class RecordingVerifier:
+    """Harness tap between the element under audit and its (possibly
+    malicious) verifier.
+
+    Every cookie the element consumes is first classified by the
+    auditor's *reference* matcher — an honest
+    :class:`~repro.core.matcher.CookieMatcher` over the honestly-issued
+    descriptor store, with its own replay cache — yielding the verdict
+    reason the advertised policy prescribes.  The operator's verifier is
+    then consulted for the verdict that actually takes effect.  The
+    divergence log is what turns "this flow rode free" into "this
+    operator honoured a replayed cookie".
+    """
+
+    def __init__(
+        self,
+        operator: Any,
+        reference: CookieMatcher,
+        probe_of: dict[tuple[int, bytes], str],
+    ) -> None:
+        self.operator = operator
+        self.reference = reference
+        self.probe_of = probe_of
+        self.records: list[VerificationRecord] = []
+
+    def match(self, cookie: Cookie, now: float):
+        try:
+            self.reference.verify(cookie, now)
+            reason = "accepted"
+        except CookieError as exc:
+            reason = "error"
+            for error_type, name in _REASONS_BY_ERROR:
+                if isinstance(exc, error_type):
+                    reason = name
+                    break
+        result = self.operator.match(cookie, now)
+        self.records.append(
+            VerificationRecord(
+                time=now,
+                probe=self.probe_of.get(
+                    (cookie.cookie_id, cookie.uuid), "unsolicited"
+                ),
+                reference_reason=reason,
+                operator_accepted=result is not None,
+            )
+        )
+        return result
+
+    def by_probe(self, probe: str) -> list[VerificationRecord]:
+        return [r for r in self.records if r.probe == probe]
+
+
+@dataclass
+class DimensionResult:
+    """Verdict for one policy dimension.
+
+    ``kind`` is ``"statistical"`` (a paired test over the matched-pair
+    deltas decides whether the dimension differs) or ``"invariant"`` (an
+    exact property checked per trial; any violation is disqualifying).
+    """
+
+    name: str
+    kind: str
+    expected_differs: bool = False
+    observed_differs: bool = False
+    expected_direction: int = 0
+    direction: int = 0
+    #: Mean paired delta (statistical) — the effect size.
+    effect: float = 0.0
+    p_value: float | None = None
+    violations: list[str] = field(default_factory=list)
+    tests: list[PairedTestResult] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        if self.violations:
+            return False
+        if self.kind != "statistical":
+            return True
+        if self.observed_differs != self.expected_differs:
+            return False
+        if self.expected_differs and self.expected_direction:
+            return self.direction == self.expected_direction
+        return True
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "ok": self.ok,
+            "expected_differs": self.expected_differs,
+            "observed_differs": self.observed_differs,
+            "expected_direction": self.expected_direction,
+            "direction": self.direction,
+            "effect": self.effect,
+            "p_value": self.p_value,
+            "violations": list(self.violations),
+            "tests": [t.to_json() for t in self.tests],
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class AuditVerdict:
+    """The auditor's structured finding for one element × persona run."""
+
+    element: str
+    persona: str
+    service: str
+    seed: int
+    trials: int
+    dimensions: dict[str, DimensionResult]
+    outcomes: list[dict[str, FlowOutcome]] = field(default_factory=list)
+    verifications: list[VerificationRecord] = field(default_factory=list)
+
+    @property
+    def flagged(self) -> bool:
+        """True when the enforced policy deviates from the advertised
+        one — the auditor's alarm."""
+        return any(not d.ok for d in self.dimensions.values())
+
+    @property
+    def violations(self) -> list[str]:
+        out: list[str] = []
+        for dim in self.dimensions.values():
+            if dim.kind == "statistical" and not dim.ok and not dim.violations:
+                if dim.expected_differs and not dim.observed_differs:
+                    out.append(
+                        f"{dim.name}: advertised difference absent "
+                        f"(effect {dim.effect:.4g}, p={dim.p_value:.4g})"
+                    )
+                elif dim.observed_differs and not dim.expected_differs:
+                    out.append(
+                        f"{dim.name}: unadvertised difference "
+                        f"(effect {dim.effect:.4g}, p={dim.p_value:.4g})"
+                    )
+                else:
+                    out.append(
+                        f"{dim.name}: difference in the wrong direction "
+                        f"(observed {dim.direction:+d}, advertised "
+                        f"{dim.expected_direction:+d})"
+                    )
+            out.extend(f"{dim.name}: {v}" for v in dim.violations)
+        return out
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "element": self.element,
+            "persona": self.persona,
+            "service": self.service,
+            "seed": self.seed,
+            "trials": self.trials,
+            "flagged": self.flagged,
+            "violations": self.violations,
+            "dimensions": {
+                name: dim.to_json() for name, dim in self.dimensions.items()
+            },
+        }
+
+    def to_json_str(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+@dataclass
+class HarnessContext:
+    """What a persona may wrap or observe — the operator's vantage."""
+
+    loop: EventLoop
+    clock: Callable[[], float]
+    store: DescriptorStore
+    server: CookieServer
+    transports: Any
+    service: str
+    config: AuditConfig
+    #: The element under audit (set once it is built); rear elements that
+    #: tamper with its counters reach it through here.
+    element: Any = None
+
+
+def _drain(loop: EventLoop, until: float) -> None:
+    loop.run(until=until)
+    loop.run_until_idle()
+
+
+class NeutralityAuditor:
+    """Runs record/replay audits against the stack's enforcement elements.
+
+    One auditor instance is reusable; each ``audit_*`` call builds a
+    fresh seeded topology, drives :attr:`AuditConfig.trials` matched
+    trials through it, and returns an :class:`AuditVerdict`.
+    """
+
+    def __init__(self, config: AuditConfig | None = None) -> None:
+        self.config = config or AuditConfig()
+
+    # ------------------------------------------------------------------
+    # Shared probe machinery
+    # ------------------------------------------------------------------
+    def _payload_sizes(self, rng) -> list[int]:
+        """One trial's shared packet-size vector (identical across the
+        trial's matched streams — that is what 'byte-identical' means)."""
+        config = self.config
+        return [
+            config.payload_bytes + rng.randrange(config.payload_jitter + 1)
+            for _ in range(config.packets_per_flow)
+        ]
+
+    def _schedule_flow(
+        self,
+        ctx: HarnessContext,
+        entry: Element,
+        outcome: FlowOutcome,
+        sport: int,
+        sizes: list[int],
+        start: float,
+        cookies: "list[Cookie | None]",
+    ) -> None:
+        """Schedule one probe flow: packet i at ``start + i*spacing``,
+        carrying ``cookies[i]`` when not None."""
+        spacing = self.config.packet_spacing_s
+
+        def send(index: int) -> None:
+            packet = make_tcp_packet(
+                outcome.subscriber,
+                sport,
+                _SERVER_IP,
+                443,
+                payload_size=sizes[index],
+                created_at=ctx.loop.now,
+            )
+            cookie = cookies[index]
+            if cookie is not None:
+                ctx.transports.attach(packet, cookie)
+            outcome.sent_packets += 1
+            outcome.sent_bytes += packet.wire_length
+            entry.push(packet)
+
+        for index in range(len(sizes)):
+            ctx.loop.schedule_at(start + index * spacing, lambda i=index: send(i))
+
+    def _collect_outcomes(
+        self,
+        capture: PacketCapture,
+        outcomes: "dict[tuple[str, int], FlowOutcome]",
+        counters_of: Callable[[str], Any] | None,
+        epoch: float,
+    ) -> None:
+        """Fold the capture tap and the element's bill into the outcomes."""
+        for record in capture:
+            key = (record.src_ip, record.src_port)
+            outcome = outcomes.get(key)
+            if outcome is None:
+                continue
+            outcome.delivered_packets += 1
+            outcome.delivered_bytes += record.wire_length
+            if record.annotation("zero_rated"):
+                outcome.free_marked_bytes += record.wire_length
+            if record.annotation("qos_class") is not None:
+                outcome.fast_lane_packets += 1
+            if record.annotation("anylink_profile") is not None:
+                outcome.profile_packets += 1
+            finished = record.time - epoch - outcome.start
+            if outcome.fct is None or finished > outcome.fct:
+                outcome.fct = finished
+        if counters_of is not None:
+            for outcome in outcomes.values():
+                billed = counters_of(outcome.subscriber)
+                outcome.billed_free = billed.free_bytes
+                outcome.billed_charged = billed.charged_bytes
+
+    def _statistical_dimension(
+        self,
+        name: str,
+        deltas: list[float],
+        expected_differs: bool,
+        expected_direction: int = 0,
+        detail: str = "",
+        extra_tests: list[PairedTestResult] | None = None,
+    ) -> DimensionResult:
+        config = self.config
+        tests = [
+            sign_test(deltas),
+            paired_permutation_test(deltas, seed=config.seed),
+        ]
+        significant = [t for t in tests if t.significant(config.alpha)]
+        if extra_tests:
+            tests.extend(extra_tests)
+            significant.extend(
+                t for t in extra_tests if t.significant(config.alpha)
+            )
+        direction = 0
+        for test in significant:
+            if test.direction:
+                direction = test.direction
+                break
+        return DimensionResult(
+            name=name,
+            kind="statistical",
+            expected_differs=expected_differs,
+            observed_differs=bool(significant),
+            expected_direction=expected_direction,
+            direction=direction,
+            effect=mean(deltas),
+            p_value=min(t.p_value for t in tests),
+            tests=tests,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # Zero-rating audit
+    # ------------------------------------------------------------------
+    def audit_zero_rating(
+        self,
+        persona=None,
+        element: str = "stateful",
+    ) -> AuditVerdict:
+        """Audit the zero-rating data path (§4.6) against its advertised
+        policy: cookied traffic is free, everything else is charged, at
+        identical delivery performance, with exact byte accounting.
+
+        ``element`` selects the implementation under audit:
+        ``"stateful"`` (:class:`~repro.services.zerorate.ZeroRatingMiddlebox`)
+        or ``"stateless"``
+        (:class:`~repro.services.zerorate.StatelessZeroRater`).
+        """
+        import random
+
+        from ..services.zerorate import StatelessZeroRater, ZeroRatingMiddlebox
+        from .personas import HonestOperator
+
+        persona = persona or HonestOperator()
+        config = self.config
+        service = "zero-rate"
+        rng = random.Random(config.seed ^ 0x5A)
+        loop = EventLoop()
+        clock = lambda: _EPOCH + loop.now  # noqa: E731
+
+        honest_store = DescriptorStore()
+        server = CookieServer(clock=clock)
+        server.offer(
+            ServiceOffering(
+                name=service,
+                description="audited zero-rating",
+                lifetime=None,
+                service_data=service,
+            )
+        )
+        server.attach_enforcement_store(honest_store)
+        ctx = HarnessContext(
+            loop=loop,
+            clock=clock,
+            store=honest_store,
+            server=server,
+            transports=default_registry(),
+            service=service,
+            config=config,
+        )
+        persona.setup(ctx)
+
+        operator_store = persona.wrap_store(honest_store)
+        operator_matcher = persona.wrap_matcher(
+            CookieMatcher(operator_store, nct=config.nct_s)
+        )
+        probe_of: dict[tuple[int, bytes], str] = {}
+        recorder = RecordingVerifier(
+            operator_matcher,
+            CookieMatcher(honest_store, nct=config.nct_s),
+            probe_of,
+        )
+        if element == "stateful":
+            box = ZeroRatingMiddlebox(recorder, clock=clock)
+        elif element == "stateless":
+            box = StatelessZeroRater(recorder, clock=clock)
+        else:
+            raise ValueError(f"unknown zero-rating element {element!r}")
+        box = persona.wrap_element(box)
+        ctx.element = box
+
+        capture = PacketCapture(
+            clock=clock,
+            keep_meta=("zero_rated", "cookie_checked"),
+            name="audit-tap",
+        )
+        chain: list[Element] = [
+            *persona.front_elements(ctx),
+            box,
+            *persona.rear_elements(ctx),
+            capture,
+            Sink(keep=False),
+        ]
+        for upstream, downstream in zip(chain, chain[1:]):
+            upstream >> downstream
+        entry = chain[0]
+
+        def mint(descriptor, probe: str, skew: float = 0.0) -> Cookie:
+            generator = CookieGenerator(
+                descriptor,
+                clock=(lambda: clock() + skew) if skew else clock,
+                rng=rng.randbytes,
+            )
+            cookie = generator.generate()
+            probe_of[(cookie.cookie_id, cookie.uuid)] = probe
+            return cookie
+
+        def flow_cookies(descriptor, probe: str, skew: float = 0.0):
+            """The per-packet cookie vector for one positive probe."""
+            count = self.config.packets_per_flow
+            if config.cookie_mode == "first-packet":
+                return [mint(descriptor, probe, skew)] + [None] * (count - 1)
+            return [mint(descriptor, probe, skew) for _ in range(count)]
+
+        outcomes: dict[tuple[str, int], FlowOutcome] = {}
+        trial_probes: list[dict[str, FlowOutcome]] = []
+
+        def new_outcome(trial: int, probe: str, host: int, start: float):
+            subscriber = f"10.{64 + (trial >> 8)}.{trial & 255}.{host}"
+            outcome = FlowOutcome(
+                probe=probe, subscriber=subscriber, trial=trial, start=start
+            )
+            outcomes[(subscriber, 20_000 + host)] = outcome
+            trial_probes[trial][probe] = outcome
+            return outcome
+
+        def setup_trial(trial: int, base: float) -> None:
+            sizes = self._payload_sizes(rng)
+            nct = config.nct_s
+            descriptor = server.acquire("auditor", service)
+            revoked_descriptor = server.acquire("auditor", service)
+
+            cookied = flow_cookies(descriptor, "cookied")
+            # Replays re-send the exact cookie the element consumed on the
+            # cookied flow's opening packet (the chaos attacker's threat
+            # model: a sniffed, *spent* cookie).
+            spent = cookied[0]
+            probe_of[(spent.cookie_id, spent.uuid)] = "cookied"
+            replay_vector = [spent] + [None] * (config.packets_per_flow - 1)
+            # Once the original flow has spent the cookie, verifications of
+            # the same (id, uuid) belong to the replaying probe — keep the
+            # record/replay ledger attributing each attempt to its sender.
+            loop.schedule_at(
+                base + 1.5,
+                lambda: probe_of.__setitem__(
+                    (spent.cookie_id, spent.uuid), "replayed"
+                ),
+            )
+            # The PR-4 double-spend window: a cookie stamped by a clock
+            # running ~NCT ahead stays timestamp-fresh for up to 2×NCT
+            # after its earliest spend instant.  Spend it now, replay it
+            # 1.5×NCT later — the replay cache (window 2×NCT) must still
+            # remember it even though a full NCT-wide cache would not.
+            skew = nct * 0.98
+            skewed = flow_cookies(descriptor, "skewed_spend", skew=skew)
+            skewed_spent = skewed[0]
+            skew_replay = [skewed_spent] + [None] * (config.packets_per_flow - 1)
+            loop.schedule_at(
+                base + 2.0 + nct,
+                lambda: probe_of.__setitem__(
+                    (skewed_spent.cookie_id, skewed_spent.uuid),
+                    "replayed_skewed",
+                ),
+            )
+            revoked_cookies = flow_cookies(revoked_descriptor, "revoked")
+            loop.schedule_at(
+                base + 0.3,
+                lambda: server.revoke(revoked_descriptor.cookie_id, by="auditor"),
+            )
+
+            plan = (
+                ("cookied", 1, base + 0.5, cookied),
+                ("bare", 2, base + 0.5, [None] * config.packets_per_flow),
+                ("bare_collusion", 3, base + 1.5, [None] * config.packets_per_flow),
+                ("replayed", 4, base + 2.0, replay_vector),
+                ("skewed_spend", 5, base + 2.0, skewed),
+                ("replayed_skewed", 6, base + 2.0 + 1.5 * nct, skew_replay),
+                ("revoked", 7, base + 0.5, revoked_cookies),
+            )
+            for probe, host, start, cookies in plan:
+                outcome = new_outcome(trial, probe, host, start)
+                self._schedule_flow(
+                    ctx, entry, outcome, 20_000 + host, list(sizes), start, cookies
+                )
+
+        for trial in range(config.trials):
+            trial_probes.append({})
+            base = trial * config.trial_spacing_s
+            loop.schedule_at(base, lambda t=trial, b=base: setup_trial(t, b))
+
+        _drain(loop, config.trials * config.trial_spacing_s + 4 * config.nct_s)
+        self._collect_outcomes(capture, outcomes, box.counters_for, _EPOCH)
+        dimensions = self._judge_zero_rating(trial_probes)
+        return AuditVerdict(
+            element=f"zerorate-{element}",
+            persona=persona.name,
+            service=service,
+            seed=config.seed,
+            trials=config.trials,
+            dimensions=dimensions,
+            outcomes=trial_probes,
+            verifications=recorder.records,
+        )
+
+    def _judge_zero_rating(
+        self, trials: list[dict[str, FlowOutcome]]
+    ) -> dict[str, DimensionResult]:
+        accounting_deltas: list[float] = []
+        fct_deltas: list[float] = []
+        delivered_deltas: list[float] = []
+        conservation: list[str] = []
+        replay: list[str] = []
+        revocation: list[str] = []
+        exclusivity: list[str] = []
+
+        def free_bytes_of(outcome: FlowOutcome) -> int:
+            # Either evidence stream convicts: the bill or the wire mark.
+            return max(outcome.billed_free, outcome.free_marked_bytes)
+
+        for index, probes in enumerate(trials):
+            cookied = probes["cookied"]
+            bare = probes["bare"]
+            accounting_deltas.append(
+                cookied.billed_free_fraction - bare.billed_free_fraction
+            )
+            if cookied.fct is not None and bare.fct is not None:
+                fct_deltas.append(bare.fct - cookied.fct)
+            delivered_deltas.append(
+                bare.delivered_fraction - cookied.delivered_fraction
+            )
+            for outcome in probes.values():
+                if outcome.billed_total != outcome.delivered_bytes:
+                    conservation.append(
+                        f"trial {index} {outcome.probe}: billed "
+                        f"{outcome.billed_total} B but delivered "
+                        f"{outcome.delivered_bytes} B"
+                    )
+            for probe in ("replayed", "replayed_skewed"):
+                free = free_bytes_of(probes[probe])
+                if free:
+                    replay.append(
+                        f"trial {index} {probe}: {free} B rode free on a "
+                        "spent cookie"
+                    )
+            free = free_bytes_of(probes["revoked"])
+            if free:
+                revocation.append(
+                    f"trial {index} revoked: {free} B rode free on a "
+                    "revoked descriptor"
+                )
+            for probe in ("bare", "bare_collusion"):
+                free = free_bytes_of(probes[probe])
+                if free:
+                    exclusivity.append(
+                        f"trial {index} {probe}: {free} B rode free "
+                        "without a cookie"
+                    )
+
+        delivered_test = sign_test(delivered_deltas)
+        performance = self._statistical_dimension(
+            "performance",
+            fct_deltas,
+            expected_differs=False,
+            detail=(
+                "paired FCT delta (bare - cookied) and delivered-fraction "
+                "delta; advertised zero-rating changes the bill, not the "
+                "service"
+            ),
+            extra_tests=[delivered_test],
+        )
+        # Delivered-fraction loss points the same way as an FCT increase.
+        if delivered_test.significant(self.config.alpha) and not performance.direction:
+            performance.direction = -delivered_test.direction
+        dims = {
+            "accounting": self._statistical_dimension(
+                "accounting",
+                accounting_deltas,
+                expected_differs=True,
+                expected_direction=1,
+                detail=(
+                    "paired billed free-fraction delta (cookied - bare); "
+                    "the advertised dimension"
+                ),
+            ),
+            "performance": performance,
+            "conservation": DimensionResult(
+                name="conservation",
+                kind="invariant",
+                violations=conservation,
+                detail="per-subscriber bill equals delivered wire bytes",
+            ),
+            "replay": DimensionResult(
+                name="replay",
+                kind="invariant",
+                violations=replay,
+                detail=(
+                    "a spent cookie is never free again, including the "
+                    "future-skew replay inside the 2xNCT window"
+                ),
+            ),
+            "revocation": DimensionResult(
+                name="revocation",
+                kind="invariant",
+                violations=revocation,
+                detail="cookies of a revoked descriptor are charged",
+            ),
+            "exclusivity": DimensionResult(
+                name="exclusivity",
+                kind="invariant",
+                violations=exclusivity,
+                detail=(
+                    "bare flows are charged, from the probing subscriber "
+                    "and from the collusion subscriber alike"
+                ),
+            ),
+        }
+        return dims
+
+    # ------------------------------------------------------------------
+    # Boost audit
+    # ------------------------------------------------------------------
+    def audit_boost(self, persona=None) -> AuditVerdict:
+        """Audit the Boost fast lane (§5.2): cookied flows must ride the
+        fast lane (and measurably finish sooner through the bottleneck);
+        bare flows must never carry the fast-lane mark."""
+        import random
+
+        from ..services.boost.daemon import BoostDaemon
+        from .personas import HonestOperator
+
+        persona = persona or HonestOperator()
+        config = self.config
+        service = "boost"
+        rng = random.Random(config.seed ^ 0xB0)
+        loop = EventLoop()
+        # The daemon's embedded CookieSwitch verifies at loop.now, so the
+        # auditor mints cookies on the same time base.
+        clock = lambda: loop.now  # noqa: E731
+
+        honest_store = DescriptorStore()
+        server = CookieServer(clock=clock)
+        server.offer(
+            ServiceOffering(
+                name=service,
+                description="audited fast lane",
+                lifetime=None,
+                service_data=service,
+            )
+        )
+        server.attach_enforcement_store(honest_store)
+        ctx = HarnessContext(
+            loop=loop,
+            clock=clock,
+            store=honest_store,
+            server=server,
+            transports=default_registry(),
+            service=service,
+            config=config,
+        )
+        persona.setup(ctx)
+
+        operator_store = persona.wrap_store(honest_store)
+        operator_matcher = persona.wrap_matcher(
+            CookieMatcher(operator_store, nct=config.nct_s)
+        )
+        probe_of: dict[tuple[int, bytes], str] = {}
+        recorder = RecordingVerifier(
+            operator_matcher,
+            CookieMatcher(honest_store, nct=config.nct_s),
+            probe_of,
+        )
+        daemon = BoostDaemon(
+            loop,
+            operator_store,
+            boost_lifetime=config.trial_spacing_s / 2,
+            verifier=recorder,
+        )
+        daemon = persona.wrap_daemon(daemon)
+        ctx.element = daemon
+
+        def default_stage() -> ShaperElement:
+            from ..services.boost.qos import FAST_LANE_CLASS
+
+            return ShaperElement(
+                loop,
+                TokenBucket(
+                    rate_bps=config.bottleneck_bps,
+                    burst_bytes=config.bottleneck_burst_bytes,
+                ),
+                predicate=(
+                    lambda packet: packet.meta.get("qos_class")
+                    != FAST_LANE_CLASS
+                ),
+                name="audit-bottleneck",
+            )
+
+        stage = persona.boost_stage(ctx, default_stage)
+        capture = PacketCapture(
+            clock=clock,
+            keep_meta=("qos_class", "service"),
+            name="audit-tap",
+        )
+        daemon.switch >> stage >> capture >> Sink(keep=False)
+
+        outcomes: dict[tuple[str, int], FlowOutcome] = {}
+        trial_probes: list[dict[str, FlowOutcome]] = []
+
+        def mint(descriptor, probe: str) -> Cookie:
+            cookie = CookieGenerator(
+                descriptor, clock=clock, rng=rng.randbytes
+            ).generate()
+            probe_of[(cookie.cookie_id, cookie.uuid)] = probe
+            return cookie
+
+        def setup_trial(trial: int, base: float) -> None:
+            sizes = self._payload_sizes(rng)
+            descriptor = server.acquire("auditor", service)
+            count = config.packets_per_flow
+            boosted_cookies: list[Cookie | None]
+            if config.cookie_mode == "first-packet":
+                boosted_cookies = [mint(descriptor, "boosted")] + [None] * (
+                    count - 1
+                )
+            else:
+                boosted_cookies = [
+                    mint(descriptor, "boosted") for _ in range(count)
+                ]
+            plan = (
+                ("boosted", 1, base + 0.5, boosted_cookies),
+                ("plain", 2, base + 0.5, [None] * count),
+            )
+            for probe, host, start, cookies in plan:
+                subscriber = f"10.{96 + (trial >> 8)}.{trial & 255}.{host}"
+                outcome = FlowOutcome(
+                    probe=probe, subscriber=subscriber, trial=trial, start=start
+                )
+                outcomes[(subscriber, 20_000 + host)] = outcome
+                trial_probes[trial][probe] = outcome
+                self._schedule_flow(
+                    ctx, daemon.switch, outcome, 20_000 + host, list(sizes),
+                    start, cookies,
+                )
+
+        for trial in range(config.trials):
+            trial_probes.append({})
+            base = trial * config.trial_spacing_s
+            loop.schedule_at(base, lambda t=trial, b=base: setup_trial(t, b))
+
+        _drain(loop, config.trials * config.trial_spacing_s + 4 * config.nct_s)
+        self._collect_outcomes(capture, outcomes, None, 0.0)
+
+        fct_deltas: list[float] = []
+        marking: list[str] = []
+        delivery: list[str] = []
+        # The advertised fast lane bypasses the bottleneck entirely, so a
+        # boosted flow's FCT is bounded by its own send pacing.  The bound
+        # is absolute, not relative: an operator shaping *both* lanes can
+        # keep the paired delta positive while under-delivering the rate
+        # the subscriber paid for.
+        nominal = (config.packets_per_flow - 1) * config.packet_spacing_s
+        fct_bound = nominal + 2 * config.packet_spacing_s
+        for index, probes in enumerate(trial_probes):
+            boosted = probes["boosted"]
+            plain = probes["plain"]
+            if boosted.fct is not None and plain.fct is not None:
+                fct_deltas.append(plain.fct - boosted.fct)
+            if boosted.fct is None:
+                delivery.append(f"trial {index}: boosted flow never completed")
+            elif boosted.fct > fct_bound:
+                delivery.append(
+                    f"trial {index}: boosted FCT {boosted.fct:.3f}s exceeds "
+                    f"the advertised fast-lane bound {fct_bound:.3f}s"
+                )
+            if boosted.fast_lane_packets == 0:
+                marking.append(
+                    f"trial {index}: boosted flow never carried the "
+                    "fast-lane mark"
+                )
+            if plain.fast_lane_packets:
+                marking.append(
+                    f"trial {index}: bare flow carried the fast-lane mark "
+                    f"on {plain.fast_lane_packets} packet(s)"
+                )
+        dimensions = {
+            "marking": DimensionResult(
+                name="marking",
+                kind="invariant",
+                violations=marking,
+                detail="fast-lane QoS mark rides cookied flows, and only them",
+            ),
+            "delivery": DimensionResult(
+                name="delivery",
+                kind="invariant",
+                violations=delivery,
+                detail=(
+                    "boosted flows complete at send pacing (the fast lane "
+                    "bypasses the bottleneck)"
+                ),
+            ),
+            "performance": self._statistical_dimension(
+                "performance",
+                fct_deltas,
+                expected_differs=True,
+                expected_direction=1,
+                detail=(
+                    "paired FCT delta (plain - boosted) through the "
+                    "bottleneck; the advertised dimension"
+                ),
+            ),
+        }
+        return AuditVerdict(
+            element="boost",
+            persona=persona.name,
+            service=service,
+            seed=config.seed,
+            trials=config.trials,
+            dimensions=dimensions,
+            outcomes=trial_probes,
+            verifications=recorder.records,
+        )
+
+    # ------------------------------------------------------------------
+    # AnyLink audit
+    # ------------------------------------------------------------------
+    def audit_anylink(self, persona=None, profile: str = "2g") -> AuditVerdict:
+        """Audit the AnyLink slow lane (§5): here the *advertised* policy
+        is a performance difference in the opposite direction — cookied
+        flows must be slower (shaped to the emulated profile), bare flows
+        untouched.  The same instrument verifies an inverted policy."""
+        import random
+
+        from ..services.anylink.proxy import (
+            STANDARD_PROFILES,
+            AnyLinkProxy,
+            make_anylink_server,
+        )
+        from .personas import HonestOperator
+
+        persona = persona or HonestOperator()
+        config = self.config
+        service = f"anylink-{profile}"
+        rng = random.Random(config.seed ^ 0xA1)
+        loop = EventLoop()
+        # AnyLinkProxy verifies at loop.now; mint on the same time base.
+        clock = lambda: loop.now  # noqa: E731
+
+        honest_store = DescriptorStore()
+        server = make_anylink_server(clock)
+        server.attach_enforcement_store(honest_store)
+        ctx = HarnessContext(
+            loop=loop,
+            clock=clock,
+            store=honest_store,
+            server=server,
+            transports=default_registry(),
+            service=service,
+            config=config,
+        )
+        persona.setup(ctx)
+
+        operator_store = persona.wrap_store(honest_store)
+        operator_matcher = persona.wrap_matcher(
+            CookieMatcher(operator_store, nct=config.nct_s)
+        )
+        probe_of: dict[tuple[int, bytes], str] = {}
+        recorder = RecordingVerifier(
+            operator_matcher,
+            CookieMatcher(honest_store, nct=config.nct_s),
+            probe_of,
+        )
+        proxy = AnyLinkProxy(loop, recorder, profiles=STANDARD_PROFILES)
+        proxy = persona.wrap_element(proxy)
+        ctx.element = proxy
+        capture = PacketCapture(
+            clock=clock,
+            keep_meta=("anylink_profile",),
+            name="audit-tap",
+        )
+        proxy >> capture
+        capture >> Sink(keep=False)
+
+        outcomes: dict[tuple[str, int], FlowOutcome] = {}
+        trial_probes: list[dict[str, FlowOutcome]] = []
+
+        def setup_trial(trial: int, base: float) -> None:
+            sizes = self._payload_sizes(rng)
+            descriptor = server.acquire("auditor", service)
+            count = config.packets_per_flow
+
+            def mint() -> Cookie:
+                cookie = CookieGenerator(
+                    descriptor, clock=clock, rng=rng.randbytes
+                ).generate()
+                probe_of[(cookie.cookie_id, cookie.uuid)] = "cookied"
+                return cookie
+
+            if config.cookie_mode == "first-packet":
+                cookied: list[Cookie | None] = [mint()] + [None] * (count - 1)
+            else:
+                cookied = [mint() for _ in range(count)]
+            plan = (
+                ("cookied", 1, base + 0.5, cookied),
+                ("bare", 2, base + 0.5, [None] * count),
+            )
+            for probe, host, start, cookies in plan:
+                subscriber = f"10.{128 + (trial >> 8)}.{trial & 255}.{host}"
+                outcome = FlowOutcome(
+                    probe=probe, subscriber=subscriber, trial=trial, start=start
+                )
+                outcomes[(subscriber, 20_000 + host)] = outcome
+                trial_probes[trial][probe] = outcome
+                self._schedule_flow(
+                    ctx, proxy, outcome, 20_000 + host, list(sizes), start,
+                    cookies,
+                )
+
+        for trial in range(config.trials):
+            trial_probes.append({})
+            base = trial * config.trial_spacing_s
+            loop.schedule_at(base, lambda t=trial, b=base: setup_trial(t, b))
+
+        _drain(loop, config.trials * config.trial_spacing_s + 4 * config.nct_s)
+        self._collect_outcomes(capture, outcomes, None, 0.0)
+
+        fct_deltas: list[float] = []
+        binding: list[str] = []
+        for index, probes in enumerate(trial_probes):
+            cookied = probes["cookied"]
+            bare = probes["bare"]
+            if cookied.fct is not None and bare.fct is not None:
+                fct_deltas.append(bare.fct - cookied.fct)
+            if cookied.profile_packets == 0:
+                binding.append(
+                    f"trial {index}: cookied flow never bound to a profile"
+                )
+            if bare.profile_packets:
+                binding.append(
+                    f"trial {index}: bare flow bound to a profile on "
+                    f"{bare.profile_packets} packet(s)"
+                )
+        dimensions = {
+            "binding": DimensionResult(
+                name="binding",
+                kind="invariant",
+                violations=binding,
+                detail="profile binding rides cookied flows, and only them",
+            ),
+            "performance": self._statistical_dimension(
+                "performance",
+                fct_deltas,
+                expected_differs=True,
+                expected_direction=-1,
+                detail=(
+                    "paired FCT delta (bare - cookied); the advertised "
+                    "slow lane makes the cookied flow the slow one"
+                ),
+            ),
+        }
+        return AuditVerdict(
+            element="anylink",
+            persona=persona.name,
+            service=service,
+            seed=config.seed,
+            trials=config.trials,
+            dimensions=dimensions,
+            outcomes=trial_probes,
+            verifications=recorder.records,
+        )

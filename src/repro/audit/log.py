@@ -1,0 +1,151 @@
+"""Auditability: who got which descriptor, when, and on what terms.
+
+The paper's regulatory story depends on this being easy: "interested
+parties can monitor what traffic gets special treatment by the network just
+by looking at who gets access to cookie descriptors and how", and the FCC
+"could demand that T-Mobile maintains a public database with the dates for
+all cookie descriptor requests".  :class:`AuditLog` is that database;
+:meth:`AuditLog.regulator_report` is the public view (no signing keys).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["AuditEvent", "AuditRecord", "AuditLog"]
+
+
+class AuditEvent:
+    """Event type constants recorded in the log."""
+
+    REQUESTED = "requested"
+    GRANTED = "granted"
+    DENIED = "denied"
+    REVOKED = "revoked"
+    RENEWED = "renewed"
+    DELEGATED = "delegated"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One append-only log entry."""
+
+    time: float
+    event: str
+    user: str
+    service: str
+    cookie_id: int | None = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "time": self.time,
+            "event": self.event,
+            "user": self.user,
+            "service": self.service,
+            "cookie_id": self.cookie_id,
+            "detail": dict(self.detail),
+        }
+
+
+class AuditLog:
+    """Append-only record of descriptor lifecycle events."""
+
+    def __init__(self) -> None:
+        self._records: list[AuditRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterable[AuditRecord]:
+        return iter(self._records)
+
+    def record(
+        self,
+        time: float,
+        event: str,
+        user: str,
+        service: str,
+        cookie_id: int | None = None,
+        **detail: Any,
+    ) -> AuditRecord:
+        """Append an event and return the record."""
+        entry = AuditRecord(
+            time=time,
+            event=event,
+            user=user,
+            service=service,
+            cookie_id=cookie_id,
+            detail=detail,
+        )
+        self._records.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def by_user(self, user: str) -> list[AuditRecord]:
+        return [r for r in self._records if r.user == user]
+
+    def by_service(self, service: str) -> list[AuditRecord]:
+        return [r for r in self._records if r.service == service]
+
+    def by_event(self, event: str) -> list[AuditRecord]:
+        return [r for r in self._records if r.event == event]
+
+    def grants(self) -> list[AuditRecord]:
+        return self.by_event(AuditEvent.GRANTED)
+
+    def denials(self) -> list[AuditRecord]:
+        return self.by_event(AuditEvent.DENIED)
+
+    def grant_latency(self, user: str, service: str) -> float | None:
+        """Seconds between a user's first request and first grant for a
+        service — the quantity the FCC's "within three days" rule bounds.
+        Returns None if either event is missing."""
+        requested = None
+        for record in self._records:
+            if record.user != user or record.service != service:
+                continue
+            if record.event == AuditEvent.REQUESTED and requested is None:
+                requested = record.time
+            if record.event == AuditEvent.GRANTED and requested is not None:
+                return record.time - requested
+        return None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def regulator_report(self) -> dict[str, Any]:
+        """The public view: per-service grant/denial tallies, grantee lists,
+        and worst-case grant latency.  Contains no keys or traffic data —
+        the privacy property holds even for the auditor."""
+        services: dict[str, dict[str, Any]] = {}
+        for record in self._records:
+            entry = services.setdefault(
+                record.service,
+                {"granted": 0, "denied": 0, "revoked": 0, "grantees": set()},
+            )
+            if record.event == AuditEvent.GRANTED:
+                entry["granted"] += 1
+                entry["grantees"].add(record.user)
+            elif record.event == AuditEvent.DENIED:
+                entry["denied"] += 1
+            elif record.event == AuditEvent.REVOKED:
+                entry["revoked"] += 1
+        report = {
+            service: {
+                "granted": data["granted"],
+                "denied": data["denied"],
+                "revoked": data["revoked"],
+                "grantees": sorted(data["grantees"]),
+            }
+            for service, data in services.items()
+        }
+        return {"services": report, "total_records": len(self._records)}
+
+    def to_jsonl(self) -> str:
+        """Serialize the full log as JSON lines (the public database)."""
+        return "\n".join(json.dumps(r.to_json()) for r in self._records)

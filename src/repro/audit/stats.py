@@ -1,0 +1,171 @@
+"""Paired statistical tests for the record/replay auditor.
+
+The auditor's evidence is a set of *matched pairs*: per seeded trial, one
+observation from the cookied stream and one from its byte-identical bare
+twin.  Following the Wehe/FairNet methodology, a policy dimension is
+declared "different" only when a paired test over all trials rejects the
+no-difference null — a single noisy trial never flags an operator.
+
+Two tests are provided, both exact and deterministic:
+
+- :func:`sign_test` — the classic binomial sign test on the signs of the
+  per-trial deltas.  Distribution-free, immune to outliers, and exact
+  (no normal approximation), which matters at the auditor's small trial
+  counts (8–32).
+- :func:`paired_permutation_test` — sign-flipping permutation test on the
+  mean delta.  Exhaustive (all ``2^n`` flips) for n ≤ 14, seeded Monte
+  Carlo above, so p-values replay bit-identically from the audit seed.
+
+Both return a :class:`PairedTestResult`; the auditor combines them
+conservatively (a dimension differs only if a test is significant *and*
+the mean delta is non-trivial).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "PairedTestResult",
+    "sign_test",
+    "paired_permutation_test",
+    "mean",
+]
+
+#: Below this many pairs the permutation test enumerates every sign flip.
+EXHAUSTIVE_LIMIT = 14
+
+#: Deltas with magnitude under this are treated as ties (float noise from
+#: simulated timestamps, not evidence).
+TIE_EPSILON = 1e-9
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass(frozen=True)
+class PairedTestResult:
+    """Outcome of one paired test over per-trial deltas."""
+
+    method: str
+    n: int                 #: pairs considered (ties excluded for the sign test)
+    positive: int          #: deltas > +epsilon
+    negative: int          #: deltas < -epsilon
+    p_value: float
+    mean_delta: float
+
+    @property
+    def direction(self) -> int:
+        """Sign of the average effect: +1, -1, or 0."""
+        if self.mean_delta > TIE_EPSILON:
+            return 1
+        if self.mean_delta < -TIE_EPSILON:
+            return -1
+        return 0
+
+    def significant(self, alpha: float) -> bool:
+        return self.p_value < alpha
+
+    def to_json(self) -> dict:
+        return {
+            "method": self.method,
+            "n": self.n,
+            "positive": self.positive,
+            "negative": self.negative,
+            "p_value": self.p_value,
+            "mean_delta": self.mean_delta,
+            "direction": self.direction,
+        }
+
+
+def sign_test(deltas: Sequence[float]) -> PairedTestResult:
+    """Exact two-sided binomial sign test on the paired deltas.
+
+    Ties (|delta| <= epsilon) carry no information about direction and
+    are excluded, per the standard construction.  With zero informative
+    pairs the p-value is 1.0 — identical streams never flag anything.
+    """
+    positive = sum(1 for d in deltas if d > TIE_EPSILON)
+    negative = sum(1 for d in deltas if d < -TIE_EPSILON)
+    n = positive + negative
+    if n == 0:
+        p = 1.0
+    else:
+        k = min(positive, negative)
+        # Two-sided exact binomial tail: P(X <= k) + P(X >= n - k).
+        tail = sum(math.comb(n, i) for i in range(k + 1)) / 2.0**n
+        p = min(1.0, 2.0 * tail)
+    return PairedTestResult(
+        method="sign",
+        n=n,
+        positive=positive,
+        negative=negative,
+        p_value=p,
+        mean_delta=mean(deltas),
+    )
+
+
+def paired_permutation_test(
+    deltas: Sequence[float],
+    seed: int = 0,
+    rounds: int = 4096,
+) -> PairedTestResult:
+    """Sign-flipping permutation test on the mean paired delta.
+
+    Under the null (no systematic difference between the matched
+    streams) each pair's delta is symmetric around zero, so every sign
+    assignment is equally likely.  The p-value is the fraction of sign
+    assignments whose |mean| reaches the observed |mean|, with the
+    identity assignment always counted (so p is never 0 and the test is
+    exact, not anti-conservative).
+
+    For ``len(deltas)`` <= :data:`EXHAUSTIVE_LIMIT` all ``2^n``
+    assignments are enumerated; beyond that, ``rounds`` seeded draws.
+    """
+    n = len(deltas)
+    observed = abs(mean(deltas))
+    positive = sum(1 for d in deltas if d > TIE_EPSILON)
+    negative = sum(1 for d in deltas if d < -TIE_EPSILON)
+    if n == 0 or observed <= TIE_EPSILON:
+        return PairedTestResult(
+            method="permutation",
+            n=n,
+            positive=positive,
+            negative=negative,
+            p_value=1.0,
+            mean_delta=mean(deltas),
+        )
+    threshold = observed - TIE_EPSILON
+    if n <= EXHAUSTIVE_LIMIT:
+        hits = 0
+        total = 1 << n
+        for mask in range(total):
+            acc = 0.0
+            for i, d in enumerate(deltas):
+                acc += d if (mask >> i) & 1 else -d
+            if abs(acc) / n >= threshold:
+                hits += 1
+        p = hits / total
+    else:
+        rng = random.Random(seed)
+        hits = 1  # the identity assignment
+        for _ in range(rounds):
+            acc = 0.0
+            for d in deltas:
+                acc += d if rng.getrandbits(1) else -d
+            if abs(acc) / n >= threshold:
+                hits += 1
+        p = hits / (rounds + 1)
+    return PairedTestResult(
+        method="permutation",
+        n=n,
+        positive=positive,
+        negative=negative,
+        p_value=p,
+        mean_delta=mean(deltas),
+    )

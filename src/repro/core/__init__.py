@@ -13,7 +13,9 @@ via :class:`CookieMatcher` and binds flows to services.
 """
 
 from .attributes import CookieAttributes, Granularity
-from .audit import AuditEvent, AuditLog, AuditRecord
+# The audit log lives in repro.audit.log since the module grew into the
+# adversarial-auditor package; ``.audit`` is kept as a compat re-export.
+from ..audit.log import AuditEvent, AuditLog, AuditRecord
 from .client import AgentStats, UserAgent
 from .cookie import (
     COOKIE_WIRE_BYTES,

@@ -16,9 +16,15 @@ Fig. 1 and Fig. 2 live in :mod:`repro.study` (BoostStudy /
 ZeroRatingSurvey); Table 1 lives in :mod:`repro.baselines.comparison`.
 
 :mod:`.chaos` reproduces no figure — it is the fault-injection soak
-backing the failure model (PROTOCOL.md §11).
+backing the failure model (PROTOCOL.md §11).  :mod:`.audit` likewise —
+it is the adversarial neutrality-audit campaign (PROTOCOL.md §13).
 """
 
+from .audit import (
+    AuditCampaignConfig,
+    AuditCampaignReport,
+    run_audit,
+)
 from .chaos import (
     ChaosConfig,
     ChaosReport,
@@ -56,6 +62,9 @@ from .sec3_dpi import Sec3Result, run_sec3
 from .sec46_campus import Sec46Result, run_sec46
 
 __all__ = [
+    "AuditCampaignConfig",
+    "AuditCampaignReport",
+    "run_audit",
     "ChaosConfig",
     "ChaosReport",
     "run_chaos",

@@ -38,6 +38,8 @@ class StatelessZeroRater(Element):
         clock: Callable[[], float],
         registry: TransportRegistry | None = None,
         is_subscriber: Callable[[str], bool] | None = None,
+        telemetry=None,
+        telemetry_prefix: str = "stateless",
         name: str = "zero-rating-stateless",
     ) -> None:
         super().__init__(name)
@@ -51,6 +53,8 @@ class StatelessZeroRater(Element):
         self.packets_processed = 0
         self.cookie_hits = 0
         self.cookie_misses = 0
+        if telemetry is not None:
+            self.register_telemetry(telemetry, prefix=telemetry_prefix)
 
     def handle(self, packet: Packet) -> None:
         self.packets_processed += 1
@@ -61,6 +65,11 @@ class StatelessZeroRater(Element):
         free = False
         found = self.registry.extract(packet)
         if found is not None:
+            # Meta parity with the stateful box: a consumed (verified)
+            # cookie is marked so downstream taps — the chaos attacker,
+            # the neutrality auditor — see the same annotations on both
+            # implementations.
+            packet.meta["cookie_checked"] = True
             if self.matcher.match(found[0], self.clock()) is not None:
                 free = True
                 self.cookie_hits += 1
@@ -92,3 +101,27 @@ class StatelessZeroRater(Element):
     def tracked_flows(self) -> int:
         """Always zero — the whole point."""
         return 0
+
+    def register_telemetry(self, registry, prefix: str = "stateless") -> None:
+        """Export the per-packet counters into a
+        :class:`~repro.telemetry.MetricsRegistry` (same collector shape
+        as :meth:`ZeroRatingMiddlebox.register_telemetry`; idempotent)."""
+        from ...telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            free = sum(c.free_bytes for c in self.counters.values())
+            charged = sum(c.charged_bytes for c in self.counters.values())
+            return TelemetrySnapshot(
+                counters={
+                    f"{prefix}.packets_processed": self.packets_processed,
+                    f"{prefix}.cookie_hits": self.cookie_hits,
+                    f"{prefix}.cookie_misses": self.cookie_misses,
+                    f"{prefix}.free_bytes": free,
+                    f"{prefix}.charged_bytes": charged,
+                },
+                gauges={
+                    f"{prefix}.tracked_subscribers": len(self.counters),
+                },
+            )
+
+        registry.register_collector(prefix, collect)

@@ -1,0 +1,72 @@
+"""Audit soak: the full personas x elements campaign at the pinned CI
+seed.  Excluded from tier-1 (like the chaos soak) via the ``audit``
+marker; CI runs it in the dedicated audit job with ``-m audit``."""
+
+import json
+
+import pytest
+
+from repro.audit import AUDIT_SEED, PERSONAS
+from repro.experiments.audit import (
+    AuditCampaignConfig,
+    AuditCampaignReport,
+    run_audit,
+)
+from repro.telemetry import MetricsRegistry
+
+pytestmark = pytest.mark.audit
+
+
+@pytest.fixture(scope="module")
+def report() -> AuditCampaignReport:
+    return run_audit(AuditCampaignConfig())
+
+
+def test_campaign_is_clean_end_to_end(report):
+    assert report.ok, report.violations
+    assert report.false_positives == []
+    assert report.missed_personas == []
+
+
+def test_campaign_covers_the_full_matrix(report):
+    verdicts = report.verdicts
+    honest = [v for v in verdicts if v["persona"] == "honest"]
+    assert {v["element"] for v in honest} == {
+        "zerorate-stateful", "zerorate-stateless", "boost", "anylink",
+    }
+    flagged_personas = {
+        v["persona"] for v in verdicts if v["persona"] != "honest"
+    }
+    assert flagged_personas == set(PERSONAS)
+    assert all(v["flagged"] for v in verdicts if v["persona"] != "honest")
+
+
+def test_campaign_report_is_deterministic(report):
+    again = run_audit(AuditCampaignConfig())
+    assert report.to_json() == again.to_json()
+    assert report.config["seed"] == AUDIT_SEED
+
+
+def test_campaign_json_feeds_ci(report):
+    data = json.loads(report.to_json())
+    assert set(data) >= {"config", "ok", "violations", "verdicts"}
+    assert data["ok"] is True
+    assert data["violations"] == []
+    summary = report.summary()
+    assert summary["ok"] and summary["honest_clean"]
+    assert summary["personas_missed"] == 0
+    rows = report.table_rows()
+    assert len(rows) == len(report.verdicts)
+    for row in rows:
+        assert {"persona", "element", "expected", "verdict", "ok"} <= set(row)
+        assert row["ok"] == "yes"
+
+
+def test_campaign_telemetry_merges_into_registry(report):
+    registry = MetricsRegistry()
+    run_audit(AuditCampaignConfig(), telemetry=registry)
+    snapshot = registry.snapshot()
+    assert snapshot.counters["audit.audits"] == len(report.verdicts)
+    assert snapshot.counters["audit.personas_missed"] == 0
+    assert snapshot.counters["audit.false_positives"] == 0
+    assert snapshot.gauges["audit.ok"] == 1

@@ -1,0 +1,92 @@
+"""Auditor core tests: honest operators pass, verdicts are deterministic,
+and the report shape is what CI consumes (PROTOCOL.md §13)."""
+
+import json
+
+import pytest
+
+from repro.audit import AUDIT_SEED, AuditConfig, NeutralityAuditor
+
+ELEMENTS = ["zerorate-stateful", "zerorate-stateless", "boost", "anylink"]
+
+FAST = AuditConfig(trials=8)
+
+
+def run_element(auditor: NeutralityAuditor, element: str, persona=None):
+    if element == "zerorate-stateful":
+        return auditor.audit_zero_rating(persona, element="stateful")
+    if element == "zerorate-stateless":
+        return auditor.audit_zero_rating(persona, element="stateless")
+    if element == "boost":
+        return auditor.audit_boost(persona)
+    if element == "anylink":
+        return auditor.audit_anylink(persona)
+    raise ValueError(element)
+
+
+@pytest.mark.parametrize("element", ELEMENTS)
+def test_honest_operator_is_never_flagged(element):
+    verdict = run_element(NeutralityAuditor(FAST), element)
+    assert not verdict.flagged, verdict.violations
+    assert verdict.violations == []
+    assert verdict.persona == "honest"
+
+
+def test_honest_zero_rating_advertised_dimension_is_significant():
+    """The flag stays down because the *advertised* difference is present
+    — not because the auditor saw nothing at all."""
+    verdict = run_element(NeutralityAuditor(FAST), "zerorate-stateful")
+    accounting = verdict.dimensions["accounting"]
+    assert accounting.observed_differs
+    assert accounting.direction == 1
+    assert accounting.p_value < FAST.alpha
+    assert accounting.effect == pytest.approx(1.0)
+    # ...and the unadvertised dimensions are quiet.
+    assert not verdict.dimensions["performance"].observed_differs
+    for name in ("conservation", "replay", "revocation", "exclusivity"):
+        assert verdict.dimensions[name].violations == []
+
+
+@pytest.mark.parametrize("element", ELEMENTS)
+def test_verdict_deterministic_under_pinned_seed(element):
+    first = run_element(NeutralityAuditor(FAST), element)
+    second = run_element(NeutralityAuditor(FAST), element)
+    assert first.to_json_str() == second.to_json_str()
+
+
+def test_verdict_json_shape():
+    verdict = run_element(NeutralityAuditor(FAST), "boost")
+    data = json.loads(verdict.to_json_str())
+    assert set(data) == {
+        "element", "persona", "service", "seed", "trials",
+        "flagged", "violations", "dimensions",
+    }
+    assert data["seed"] == AUDIT_SEED
+    assert data["trials"] == FAST.trials
+    for dim in data["dimensions"].values():
+        assert dim["kind"] in {"statistical", "invariant"}
+        assert isinstance(dim["ok"], bool)
+
+
+def test_flow_outcomes_and_verifications_are_recorded():
+    verdict = run_element(NeutralityAuditor(FAST), "zerorate-stateful")
+    assert len(verdict.outcomes) == FAST.trials
+    probes = set(verdict.outcomes[0])
+    assert {"cookied", "bare", "replayed", "revoked"} <= probes
+    # Every verification the operator ran was classified against the
+    # honest reference oracle.
+    assert verdict.verifications
+    assert all(r.reference_reason for r in verdict.verifications)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"trials": 0},
+        {"packets_per_flow": 2},
+        {"cookie_mode": "sometimes"},
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        AuditConfig(**kwargs)

@@ -9,7 +9,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("fig1", "fig2", "fig4", "fig5b", "fig6",
-                        "table1", "sec3", "sec46"):
+                        "table1", "sec3", "sec46", "audit"):
             args = parser.parse_args([command] + (
                 ["--trials", "1"] if command == "fig5b" else []
             ))
@@ -68,6 +68,31 @@ class TestCommands:
         assert "cnn.com" in out and "oob" in out
 
 
+class TestAuditCommand:
+    def test_audit_runs_clean_and_prints_table(self, capsys):
+        assert main(["audit", "--trials", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "honest" in out
+        assert "replay-honorer" in out
+        assert "flagged" in out
+
+    def test_audit_json_report(self, capsys):
+        import json
+
+        assert main(
+            ["audit", "--trials", "8", "--personas", "revocation-ignorer",
+             "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        personas = {v["persona"] for v in report["verdicts"]}
+        assert personas == {"honest", "revocation-ignorer"}
+
+    def test_audit_unknown_persona_errors(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "--personas", "quantum-cheater"])
+
+
 class TestStatsCommand:
     def test_stats_prints_merged_snapshot(self, capsys):
         assert main(["stats", "--flows", "60"]) == 0
@@ -87,6 +112,17 @@ class TestStatsCommand:
         assert snapshot["counters"]["switch.packets"] > 0
         assert snapshot["counters"]["middlebox.cookie_hits"] > 0
         assert snapshot["gauges"]["matcher.replay_cache.size"] >= 0
+
+    def test_stats_audit_merges_auditor_telemetry(self, capsys):
+        import json
+
+        assert main(["stats", "--flows", "40", "--audit", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["audit.audits"] > 0
+        assert snapshot["counters"]["audit.false_positives"] == 0
+        assert snapshot["gauges"]["audit.ok"] == 1
+        # The ordinary workload metrics ride in the same snapshot.
+        assert snapshot["counters"]["switch.packets"] > 0
 
     def test_stats_workload_exercises_failure_paths(self):
         from repro.__main__ import run_stats_workload
