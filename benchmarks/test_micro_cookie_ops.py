@@ -84,3 +84,107 @@ def test_micro_replay_cache_ops(benchmark):
         return cache.check_and_record(counter[0].to_bytes(16, "big"), now=0.0)
 
     assert benchmark(op) is False
+
+
+# ----------------------------------------------------------------------
+# SQLite descriptor store: the PR-8 control-plane tuning, before/after.
+# ----------------------------------------------------------------------
+
+def _sqlite_store(tmp_path, name):
+    """A file-backed store (WAL is meaningless for ':memory:')."""
+    from repro.core import SQLiteDescriptorStore
+
+    return SQLiteDescriptorStore(str(tmp_path / f"{name}.db"))
+
+
+def _expiring_descriptors(count, expired_fraction=0.5):
+    from repro.core.attributes import CookieAttributes
+
+    cutoff = int(count * expired_fraction)
+    return [
+        CookieDescriptor.create(
+            service_data="Boost",
+            attributes=CookieAttributes(
+                expires_at=50.0 if i < cutoff else 1e9
+            ),
+        )
+        for i in range(count)
+    ]
+
+
+def test_micro_sqlite_bulk_add(benchmark, tmp_path):
+    """add_many (one transaction) vs a commit per descriptor."""
+    import time
+
+    descriptors = _expiring_descriptors(500)
+
+    per_row_store = _sqlite_store(tmp_path, "per_row")
+    start = time.perf_counter()
+    for descriptor in descriptors:
+        per_row_store.add(descriptor)
+    per_row_s = time.perf_counter() - start
+    per_row_store.close()
+
+    counter = [0]
+
+    def bulk():
+        counter[0] += 1
+        store = _sqlite_store(tmp_path, f"bulk{counter[0]}")
+        try:
+            return store.add_many(descriptors)
+        finally:
+            store.close()
+
+    added = benchmark.pedantic(bulk, rounds=3, iterations=1)
+    assert added == len(descriptors)
+    bulk_s = min(benchmark.stats.stats.data)
+    benchmark.extra_info["per_row_s"] = round(per_row_s, 6)
+    benchmark.extra_info["speedup"] = round(per_row_s / bulk_s, 2)
+    # One transaction must beat 500 commits (by a lot; 2x is the floor).
+    assert bulk_s < per_row_s / 2, (bulk_s, per_row_s)
+
+
+def test_micro_sqlite_purge_indexed_vs_scan(benchmark, tmp_path):
+    """Indexed DELETE vs the legacy load-decode-delete scan."""
+    import time
+
+    descriptors = _expiring_descriptors(2_000)
+
+    scan_store = _sqlite_store(tmp_path, "scan")
+    scan_store.add_many(descriptors)
+    start = time.perf_counter()
+    scan_purged = scan_store._purge_expired_scan(now=100.0)
+    scan_s = time.perf_counter() - start
+    scan_store.close()
+
+    counter = [0]
+
+    def indexed():
+        counter[0] += 1
+        store = _sqlite_store(tmp_path, f"indexed{counter[0]}")
+        try:
+            store.add_many(descriptors)
+            start = time.perf_counter()
+            purged = store.purge_expired(now=100.0)
+            elapsed = time.perf_counter() - start
+            assert len(store) == len(descriptors) - purged
+            return purged, elapsed
+        finally:
+            store.close()
+
+    purged, indexed_s = benchmark.pedantic(indexed, rounds=3, iterations=1)
+    assert purged == scan_purged == 1_000
+    benchmark.extra_info["scan_s"] = round(scan_s, 6)
+    benchmark.extra_info["indexed_s"] = round(indexed_s, 6)
+    benchmark.extra_info["speedup"] = round(scan_s / indexed_s, 2)
+    assert indexed_s < scan_s, (indexed_s, scan_s)
+
+
+def test_micro_sqlite_wal_enabled(tmp_path):
+    """The tuning is actually on for file databases."""
+    store = _sqlite_store(tmp_path, "wal")
+    mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+    sync = store._conn.execute("PRAGMA synchronous").fetchone()[0]
+    store.close()
+    assert mode == "wal"
+    assert sync == 1  # NORMAL

@@ -12,6 +12,7 @@ Usage::
     python -m repro sec3                 # DPI limitations on cnn.com
     python -m repro sec46 [--scale S]   # campus trace replay
     python -m repro audit [--json]      # adversarial neutrality audit
+    python -m repro controlplane        # sharded cookie server at scale
 
 Benchmarks (`pytest benchmarks/ --benchmark-only`) assert the shapes; this
 runner just prints them for a human.
@@ -113,7 +114,7 @@ def _cmd_stats(args) -> None:
     """One merged telemetry snapshot for a synthetic data-path workload."""
     snapshot = run_stats_workload(
         flows=args.flows, packets_per_flow=6, pool_workers=args.pool_workers,
-        include_audit=args.audit,
+        include_audit=args.audit, include_server=args.server,
     )
     if args.json:
         print(snapshot.to_json())
@@ -124,6 +125,8 @@ def _cmd_stats(args) -> None:
                       "pool")
         if args.audit:
             detail += " + neutrality-audit campaign"
+        if args.server:
+            detail += " + sharded control plane"
         print(f"telemetry snapshot — {args.flows} flows through "
               f"cookie switch + zero-rating middlebox{detail}")
         print(snapshot.format_text())
@@ -204,6 +207,30 @@ def _cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_controlplane(args) -> None:
+    """Sharded control plane vs CookieServer at subscriber scale."""
+    import json as json_module
+
+    from repro.experiments import (
+        format_controlplane_report,
+        run_controlplane,
+    )
+
+    shard_counts = tuple(args.shards) if args.shards else (1, 2, 4)
+    report = run_controlplane(
+        subscribers=args.subscribers,
+        shard_counts=shard_counts,
+        churn_events=args.churn_events,
+        open_loop_ops=args.open_loop_ops,
+    )
+    if args.json:
+        print(json_module.dumps(report, indent=2))
+    else:
+        print("§4.2 control plane — sharded cookie server, delta-log "
+              "replication, live revocation drill")
+        print(format_controlplane_report(report))
+
+
 def _cmd_scaleout(args) -> None:
     """Multi-core verification: in-process vs 1/2/4 worker processes."""
     from repro.experiments import format_scaleout_report, run_scaleout
@@ -223,6 +250,7 @@ def run_stats_workload(
     packets_per_flow: int = 6,
     pool_workers: int | None = None,
     include_audit: bool = False,
+    include_server: bool = False,
 ):
     """Drive a cookie switch and a zero-rating middlebox (each with its
     own matcher) through one registry and return the merged snapshot.
@@ -241,6 +269,12 @@ def run_stats_workload(
     (:func:`repro.experiments.run_audit`) and merges its verdict counts
     into the same snapshot under the ``audit.`` prefix — the same
     collector pattern as every data-plane element.
+
+    ``include_server`` additionally drives a 2-shard
+    :class:`~repro.core.cp.ShardedControlPlane` (acquire/renew/revoke
+    churn against a registered verifier replica) and merges its
+    telemetry — per-shard ops, log lengths, the broadcast-lag histogram,
+    shed counts — into the same snapshot under the ``cp.`` prefix.
     """
     from repro.core import (
         CookieDescriptor,
@@ -314,6 +348,27 @@ def run_stats_workload(
 
         run_audit(AuditCampaignConfig(), telemetry=registry)
 
+    if include_server:
+        from repro.core.cp import ShardedControlPlane, VerifierReplica
+        from repro.core.server import ServiceOffering
+
+        controlplane = ShardedControlPlane(
+            clock=clock, shards=2, mode="in-process"
+        )
+        controlplane.offer(ServiceOffering(name="zero-rate"))
+        controlplane.register_replica(VerifierReplica("stats-verifier"))
+        issued = [
+            controlplane.acquire(f"sub-{i}", "zero-rate")
+            for i in range(24)
+        ]
+        controlplane.renew("sub-0", issued[0].cookie_id)
+        controlplane.revoke_batch([d.cookie_id for d in issued[:6]])
+        # One shed of each flavor so the counters are non-zero.
+        controlplane.inflight = controlplane.max_pending
+        controlplane.admit()
+        controlplane.inflight = 0
+        controlplane.register_telemetry(registry, prefix="cp")
+
     if pool_workers:
         from repro.core.parallel import ProcessShardExecutor
 
@@ -345,6 +400,7 @@ COMMANDS = {
     "sec46": _cmd_sec46,
     "stats": _cmd_stats,
     "scaleout": _cmd_scaleout,
+    "controlplane": _cmd_controlplane,
     "chaos": _cmd_chaos,
     "audit": _cmd_audit,
 }
@@ -384,6 +440,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--audit", action="store_true",
                        help="also run the neutrality-audit campaign and "
                             "merge its verdict counts into the snapshot")
+    stats.add_argument("--server", action="store_true",
+                       help="also drive a sharded control plane and merge "
+                            "its telemetry (per-shard ops, log lengths, "
+                            "broadcast-lag histogram, shed counts)")
     scaleout = sub.add_parser(
         "scaleout",
         help="multi-core verification: in-process vs worker processes",
@@ -392,6 +452,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker counts to measure (default: 1 2 4)")
     scaleout.add_argument("--cookies", type=int, default=24_000)
     scaleout.add_argument("--rounds", type=int, default=3)
+    controlplane = sub.add_parser(
+        "controlplane",
+        help="sharded async cookie server vs CookieServer at subscriber "
+             "scale, with the live revocation drill",
+    )
+    controlplane.add_argument("--subscribers", type=int, default=100_000,
+                              help="population size (the checked-in report "
+                                   "uses 1,000,000)")
+    controlplane.add_argument("--shards", type=int, nargs="*",
+                              help="shard counts to measure (default: 1 2 4)")
+    controlplane.add_argument("--churn-events", type=int, default=30_000)
+    controlplane.add_argument("--open-loop-ops", type=int, default=4_000)
+    controlplane.add_argument("--json", action="store_true",
+                              help="print the full report as JSON")
     chaos = sub.add_parser(
         "chaos",
         help="fault-injection soak + outage and shard-kill drills",

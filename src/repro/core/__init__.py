@@ -75,7 +75,23 @@ from .matcher import (
     ReplayCache,
     ShardedReplayCache,
 )
-from .netserver import AsyncCookieServer, CookieClient, request_over_tcp
+from .netserver import (
+    AsyncCookieServer,
+    CookieClient,
+    JsonLineServer,
+    request_over_tcp,
+)
+from .cp import (
+    AsyncControlPlaneServer,
+    ControlPlaneShard,
+    DeltaLog,
+    DeltaRecord,
+    LogTruncated,
+    ReplicaUnreachable,
+    ShardedControlPlane,
+    StoreSnapshot,
+    VerifierReplica,
+)
 from .offload import HardwarePrefilter, PrefilterStats
 from .policy import (
     AccessPolicy,
@@ -154,7 +170,17 @@ __all__ = [
     "ShardedReplayCache",
     "AsyncCookieServer",
     "CookieClient",
+    "JsonLineServer",
     "request_over_tcp",
+    "AsyncControlPlaneServer",
+    "ControlPlaneShard",
+    "DeltaLog",
+    "DeltaRecord",
+    "LogTruncated",
+    "ReplicaUnreachable",
+    "ShardedControlPlane",
+    "StoreSnapshot",
+    "VerifierReplica",
     "HardwarePrefilter",
     "PrefilterStats",
     "AccessPolicy",

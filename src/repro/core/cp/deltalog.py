@@ -1,0 +1,246 @@
+"""Append-only descriptor delta log + snapshots (PROTOCOL.md §14.2).
+
+This generalizes the PR-3 delta-push wire format (the ``add`` / ``revoke``
+/ ``remove`` JSON ops :class:`~repro.core.parallel.ProcessShardExecutor`
+pushes to its worker replicas) into a durable, offset-addressed log.  Each
+control-plane shard appends one :class:`DeltaRecord` per successful
+mutation; verifier replicas consume the log to converge on the shard's
+store state.
+
+The two invariants everything else leans on, property-tested in
+``tests/core/test_deltalog.py``:
+
+* **Equivalence** — ``snapshot + replay(log since snapshot.offset)``
+  reproduces the shard store exactly, for any interleaving of ops.
+* **Idempotence** — :func:`replay` skips records below the replica's
+  applied offset, so re-delivering an overlapping window (the normal case
+  when a replica reconnects after a partition) never regresses state:
+  an ``add`` record is never applied over a later ``revoke``.
+
+Logs are compactable: :meth:`DeltaLog.compact_to` drops the prefix below
+an offset.  A replica whose applied offset fell behind the compaction
+horizon gets :class:`LogTruncated` from :meth:`DeltaLog.since` and must
+catch up by snapshot-then-replay instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..descriptor import CookieDescriptor
+
+__all__ = [
+    "DeltaLog",
+    "DeltaRecord",
+    "LogTruncated",
+    "StoreSnapshot",
+    "apply_record",
+    "replay",
+]
+
+#: Ops a record may carry — the same vocabulary as the PR-3 delta push.
+DELTA_OPS = ("add", "revoke", "remove")
+
+
+class LogTruncated(Exception):
+    """The requested offset precedes the log's compaction horizon."""
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One logged mutation.  ``descriptor`` is the full JSON form for
+    ``add`` (so replay needs no other source of truth) and ``None``
+    otherwise."""
+
+    offset: int
+    op: str
+    cookie_id: int
+    time: float
+    descriptor: dict[str, Any] | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "offset": self.offset,
+            "op": self.op,
+            "cookie_id": self.cookie_id,
+            "time": self.time,
+        }
+        if self.descriptor is not None:
+            data["descriptor"] = self.descriptor
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "DeltaRecord":
+        op = str(data["op"])
+        if op not in DELTA_OPS:
+            raise ValueError(f"unknown delta op {op!r}")
+        return cls(
+            offset=int(data["offset"]),
+            op=op,
+            cookie_id=int(data["cookie_id"]),
+            time=float(data["time"]),
+            descriptor=data.get("descriptor"),
+        )
+
+
+class DeltaLog:
+    """An append-only, offset-addressed, compactable record sequence.
+
+    Offsets are dense and monotonic: the first record ever appended has
+    offset 0, and compaction never renumbers — it only advances
+    ``base_offset`` past the dropped prefix.
+    """
+
+    def __init__(self, base_offset: int = 0) -> None:
+        if base_offset < 0:
+            raise ValueError("base_offset must be >= 0")
+        self.base_offset = base_offset
+        self._records: list[DeltaRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def next_offset(self) -> int:
+        """The offset the next append will receive."""
+        return self.base_offset + len(self._records)
+
+    def append(
+        self,
+        op: str,
+        cookie_id: int,
+        time: float,
+        descriptor: dict[str, Any] | None = None,
+    ) -> DeltaRecord:
+        if op not in DELTA_OPS:
+            raise ValueError(f"unknown delta op {op!r}")
+        if op == "add" and descriptor is None:
+            raise ValueError("add records must carry the descriptor")
+        record = DeltaRecord(
+            offset=self.next_offset,
+            op=op,
+            cookie_id=cookie_id,
+            time=time,
+            descriptor=descriptor,
+        )
+        self._records.append(record)
+        return record
+
+    def covers(self, offset: int) -> bool:
+        """Whether ``since(offset)`` can be served without a snapshot."""
+        return self.base_offset <= offset <= self.next_offset
+
+    def since(self, offset: int) -> list[DeltaRecord]:
+        """Records with ``record.offset >= offset``, oldest first.
+
+        Raises :class:`LogTruncated` when compaction already dropped part
+        of the requested window — the caller must fall back to
+        snapshot-then-replay.
+        """
+        if offset < self.base_offset:
+            raise LogTruncated(
+                f"offset {offset} precedes compaction horizon "
+                f"{self.base_offset}"
+            )
+        if offset >= self.next_offset:
+            return []
+        return self._records[offset - self.base_offset:]
+
+    def compact_to(self, offset: int) -> int:
+        """Drop records below ``offset``; returns how many were dropped.
+
+        ``offset`` is clamped to the log's bounds, so compacting to an
+        offset nobody has reached yet empties the log but never loses
+        numbering.
+        """
+        offset = min(max(offset, self.base_offset), self.next_offset)
+        dropped = offset - self.base_offset
+        if dropped:
+            del self._records[:dropped]
+            self.base_offset = offset
+        return dropped
+
+
+@dataclass
+class StoreSnapshot:
+    """A store's full state as of a log offset (PROTOCOL.md §14.2).
+
+    ``offset`` is the log's ``next_offset`` at capture time: replaying
+    records from ``offset`` onward lands exactly on the live state.
+    """
+
+    offset: int
+    descriptors: list[dict[str, Any]]
+
+    @classmethod
+    def take(cls, store: Any, offset: int) -> "StoreSnapshot":
+        return cls(
+            offset=offset,
+            descriptors=[d.to_json() for d in store],
+        )
+
+    def install(self, store: Any) -> int:
+        """Replace ``store``'s contents with the snapshot; returns the
+        descriptor count."""
+        for cookie_id in [d.cookie_id for d in store]:
+            store.remove(cookie_id)
+        for data in self.descriptors:
+            store.add(CookieDescriptor.from_json(data))
+        return len(self.descriptors)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"offset": self.offset, "descriptors": self.descriptors}
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "StoreSnapshot":
+        return cls(
+            offset=int(data["offset"]),
+            descriptors=list(data["descriptors"]),
+        )
+
+
+def apply_record(store: Any, record: DeltaRecord) -> None:
+    """Apply one record to a descriptor store.
+
+    Tolerant of redelivery on its own (``revoke``/``remove`` of a missing
+    id are no-ops) but NOT of reordering — use :func:`replay` with an
+    applied offset to get the full idempotence guarantee.
+    """
+    if record.op == "add":
+        assert record.descriptor is not None
+        store.add(CookieDescriptor.from_json(record.descriptor))
+    elif record.op == "revoke":
+        store.revoke(record.cookie_id)
+    elif record.op == "remove":
+        store.remove(record.cookie_id)
+    else:  # pragma: no cover - append() validates ops
+        raise ValueError(f"unknown delta op {record.op!r}")
+
+
+def replay(
+    store: Any,
+    records: Iterable[DeltaRecord],
+    applied_offset: int = 0,
+) -> int:
+    """Apply ``records`` in order, skipping anything already applied.
+
+    ``applied_offset`` is the next offset the store expects (i.e. all
+    records below it are already in).  Returns the new applied offset.
+    Raises ``ValueError`` on a gap — a missing record means the window
+    was mis-served and silently continuing would diverge.
+    """
+    applied = applied_offset
+    for record in records:
+        if record.offset < applied:
+            continue  # stale redelivery — idempotent skip
+        if record.offset > applied:
+            raise ValueError(
+                f"delta gap: expected offset {applied}, got {record.offset}"
+            )
+        apply_record(store, record)
+        applied = record.offset + 1
+    return applied

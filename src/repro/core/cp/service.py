@@ -1,0 +1,894 @@
+"""The sharded control plane's front door (PROTOCOL.md §14).
+
+:class:`ShardedControlPlane` replaces a single
+:class:`~repro.core.server.CookieServer` with N
+:class:`~.shard.ControlPlaneShard` partitions keyed by the data plane's
+rendezvous hash.  The dispatcher mints cookie ids, routes every op to the
+owning shard, and layers on the distributed-systems duties the shards
+themselves stay ignorant of:
+
+* **Replication** — verifier replicas register here; revocations are
+  broadcast eagerly to every reachable replica and an anti-entropy
+  :meth:`sync_replicas` tick converges the rest, with every
+  revocation-to-enforcement lag sample observed into a histogram and
+  checked against :attr:`staleness_bound`.
+* **Catch-up** — a replica returning from a partition replays the delta
+  log from its applied offset; if compaction truncated that window it
+  gets snapshot-then-replay instead.
+* **Load shedding** — an admission gate (:meth:`admit`/:meth:`release`)
+  caps in-flight requests and consults the PR-4
+  :class:`~repro.core.resilience.CircuitBreaker`; over-limit or
+  breaker-open arrivals get a structured ``{"shed": true}`` error
+  instead of unbounded queueing.
+* **Process mode** — each shard can run in a worker process served over
+  a pipe (§14.4).  The parent retains an authoritative delta log +
+  descriptor mirror per worker shard, so replica sync never blocks on a
+  worker round-trip and a crashed worker is respawned and re-seeded
+  from the mirror.  ``mode="auto"`` picks process workers only when the
+  host has cores to back them, mirroring the PR-6 degrade ladder.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import secrets
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..descriptor import COOKIE_ID_BITS, CookieDescriptor
+from ..distributed import rendezvous_shard
+from ..errors import AcquisitionDenied
+from ..policy import AccessPolicy, OpenAccessPolicy
+from ..resilience import CircuitBreaker
+from ..server import ServiceOffering
+from ...telemetry.metrics import Histogram, TelemetrySnapshot
+from .deltalog import DeltaLog, LogTruncated, StoreSnapshot
+from .replica import ReplicaUnreachable, VerifierReplica
+from .shard import ControlPlaneShard, offering_to_json, shard_worker_main
+
+__all__ = ["ControlPlaneStats", "ShardedControlPlane", "BROADCAST_LAG_BUCKETS"]
+
+#: Broadcast-lag histogram buckets (seconds) — sub-millisecond resolution
+#: at the bottom because an eager in-process broadcast completes in
+#: microseconds, stretching to the multi-second partition-recovery tail.
+BROADCAST_LAG_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+
+
+class _ShardFailure(Exception):
+    """A worker shard's pipe died mid-request."""
+
+
+@dataclass
+class ControlPlaneStats:
+    """Dispatcher-level accounting (shards keep their own op counters)."""
+
+    acquired: int = 0
+    denied: int = 0
+    revoked: int = 0
+    removed: int = 0
+    renewed: int = 0
+    shed_pending: int = 0
+    shed_breaker: int = 0
+    worker_failures: int = 0
+    syncs: int = 0
+    snapshot_catchups: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _LocalShard:
+    """In-process shard handle: direct calls, the shard's log is ours."""
+
+    mode = "in-process"
+
+    def __init__(self, shard: ControlPlaneShard) -> None:
+        self.shard = shard
+        self.degraded = False
+
+    @property
+    def log(self) -> DeltaLog:
+        return self.shard.log
+
+    def offer(self, offering: ServiceOffering) -> None:
+        self.shard.offer(offering)
+
+    def withdraw(self, name: str) -> None:
+        self.shard.withdraw_offering(name)
+
+    def acquire_batch(
+        self, requests: list[tuple], now: float
+    ) -> tuple[list[dict[str, Any] | None], list[str | None]]:
+        descriptors: list[dict[str, Any] | None] = []
+        errors: list[str | None] = []
+        for entry in requests:
+            try:
+                descriptor = self.shard.acquire(
+                    entry[0],
+                    entry[1],
+                    now,
+                    cookie_id=entry[2],
+                    credentials=entry[3] if len(entry) > 3 else None,
+                    preferences=entry[4] if len(entry) > 4 else None,
+                )
+            except AcquisitionDenied as exc:
+                descriptors.append(None)
+                errors.append(str(exc))
+            else:
+                descriptors.append(descriptor.to_json())
+                errors.append(None)
+        return descriptors, errors
+
+    def revoke_batch(self, cookie_ids: list[int], now: float) -> list[bool]:
+        return [self.shard.revoke(cid, now) for cid in cookie_ids]
+
+    def remove_batch(self, cookie_ids: list[int], now: float) -> list[bool]:
+        return [self.shard.remove(cid, now) for cid in cookie_ids]
+
+    def purge_expired(self, now: float) -> int:
+        return len(self.shard.purge_expired(now))
+
+    def lookup(self, cookie_id: int) -> dict[str, Any] | None:
+        descriptor = self.shard.lookup(cookie_id)
+        return None if descriptor is None else descriptor.to_json()
+
+    def snapshot(self) -> StoreSnapshot:
+        return self.shard.snapshot()
+
+    def stats(self) -> dict[str, int]:
+        return self.shard.stats()
+
+    def close(self) -> None:
+        pass
+
+
+class _WorkerShard:
+    """Process-mode shard handle: §14.4 frames over a pipe.
+
+    The parent-side :class:`DeltaLog` and descriptor mirror are the
+    authoritative replication feed — the worker owns *serving* state
+    (policy checks, key minting, its own store), the parent owns
+    *replication* state.  The mirror is copy-on-write under revocation
+    so logged ``add`` records keep their original descriptor payloads.
+    """
+
+    mode = "process"
+
+    def __init__(
+        self,
+        index: int,
+        policy: AccessPolicy | None,
+        ctx: multiprocessing.context.BaseContext,
+    ) -> None:
+        self.index = index
+        self.policy = policy
+        self.ctx = ctx
+        self.log = DeltaLog()
+        self.mirror: dict[int, dict[str, Any]] = {}
+        self.offerings: dict[str, dict[str, Any]] = {}
+        self.degraded = False
+        self.restarts = 0
+        self._local: ControlPlaneShard | None = None
+        self._conn: Any = None
+        self._process: Any = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self.ctx.Pipe()
+        process = self.ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, self.index, self.policy),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._conn, self._process = parent_conn, process
+        # Re-seed a fresh worker with the authoritative parent state.
+        if self.mirror or self.log.next_offset:
+            self._roundtrip(
+                {
+                    "op": "install",
+                    "snapshot": StoreSnapshot(
+                        offset=self.log.next_offset,
+                        descriptors=list(self.mirror.values()),
+                    ).to_json(),
+                }
+            )
+        for offering in self.offerings.values():
+            self._roundtrip({"op": "offer", "offering": offering})
+
+    def _roundtrip(self, frame: dict[str, Any]) -> dict[str, Any]:
+        try:
+            self._conn.send(frame)
+            return self._conn.recv()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise _ShardFailure(str(exc)) from exc
+
+    def _request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """One frame with a single restart-and-retry on worker death."""
+        try:
+            return self._roundtrip(frame)
+        except _ShardFailure:
+            self.restart()
+            return self._roundtrip(frame)
+
+    def restart(self) -> None:
+        """Respawn the worker, re-seeded from the parent mirror; falls
+        back to a degraded in-process shard when spawning itself fails."""
+        self.close(graceful=False)
+        self.restarts += 1
+        try:
+            self._spawn()
+        except OSError:
+            self.degraded = True
+            self._local = ControlPlaneShard(self.index, policy=self.policy)
+            StoreSnapshot(
+                offset=self.log.next_offset,
+                descriptors=list(self.mirror.values()),
+            ).install(self._local.store)
+            self._local.log = DeltaLog(base_offset=self.log.next_offset)
+            from .shard import _offering_from_json
+
+            for offering in self.offerings.values():
+                self._local.offer(_offering_from_json(offering))
+
+    def offer(self, offering: ServiceOffering) -> None:
+        if offering.attribute_factory is not None:
+            raise ValueError(
+                "process-mode shards cannot ship attribute_factory "
+                "closures; use lifetime-based offerings or in-process mode"
+            )
+        data = offering_to_json(offering)
+        self.offerings[offering.name] = data
+        if self.degraded:
+            assert self._local is not None
+            self._local.offer(offering)
+        else:
+            self._request({"op": "offer", "offering": data})
+
+    def withdraw(self, name: str) -> None:
+        self.offerings.pop(name, None)
+        if self.degraded:
+            assert self._local is not None
+            self._local.withdraw_offering(name)
+        else:
+            self._request({"op": "withdraw", "name": name})
+
+    def acquire_batch(
+        self, requests: list[tuple[str, str, int]], now: float
+    ) -> tuple[list[dict[str, Any] | None], list[str | None]]:
+        if self.degraded:
+            assert self._local is not None
+            descriptors, errors = _LocalShard(self._local).acquire_batch(
+                requests, now
+            )
+        else:
+            response = self._request(
+                {"op": "acquire_batch", "now": now, "requests": requests}
+            )
+            descriptors = response["descriptors"]
+            errors = response["errors"]
+        for data in descriptors:
+            if data is not None:
+                cookie_id = int(data["cookie_id"])
+                self.mirror[cookie_id] = data
+                self.log.append("add", cookie_id, now, data)
+        return descriptors, errors
+
+    def revoke_batch(self, cookie_ids: list[int], now: float) -> list[bool]:
+        if self.degraded:
+            assert self._local is not None
+            revoked = [self._local.revoke(cid, now) for cid in cookie_ids]
+        else:
+            response = self._request(
+                {"op": "revoke_batch", "now": now, "cookie_ids": cookie_ids}
+            )
+            revoked = response["revoked"]
+        for cookie_id, ok in zip(cookie_ids, revoked):
+            if ok:
+                # Copy-on-write: the "add" record in the log still
+                # references the original un-revoked payload.
+                self.mirror[cookie_id] = {**self.mirror[cookie_id], "revoked": True}
+                self.log.append("revoke", cookie_id, now)
+        return revoked
+
+    def remove_batch(self, cookie_ids: list[int], now: float) -> list[bool]:
+        if self.degraded:
+            assert self._local is not None
+            removed = [self._local.remove(cid, now) for cid in cookie_ids]
+        else:
+            response = self._request(
+                {"op": "remove_batch", "now": now, "cookie_ids": cookie_ids}
+            )
+            removed = response["removed"]
+        for cookie_id, ok in zip(cookie_ids, removed):
+            if ok:
+                self.mirror.pop(cookie_id, None)
+                self.log.append("remove", cookie_id, now)
+        return removed
+
+    def purge_expired(self, now: float) -> int:
+        if self.degraded:
+            assert self._local is not None
+            removed_ids = [r for r in self._local.purge_expired(now)]
+        else:
+            response = self._request({"op": "purge_expired", "now": now})
+            removed_ids = [int(cid) for cid in response["removed_ids"]]
+        for cookie_id in removed_ids:
+            self.mirror.pop(cookie_id, None)
+            self.log.append("remove", cookie_id, now)
+        return len(removed_ids)
+
+    def lookup(self, cookie_id: int) -> dict[str, Any] | None:
+        # The mirror is authoritative and saves a worker round-trip.
+        return self.mirror.get(cookie_id)
+
+    def snapshot(self) -> StoreSnapshot:
+        return StoreSnapshot(
+            offset=self.log.next_offset,
+            descriptors=list(self.mirror.values()),
+        )
+
+    def stats(self) -> dict[str, int]:
+        if self.degraded:
+            assert self._local is not None
+            stats = self._local.stats()
+        else:
+            try:
+                stats = self._request({"op": "stats"})["stats"]
+            except _ShardFailure:
+                stats = {"shard": self.index}
+        stats["log_len"] = len(self.log)
+        stats["log_base"] = self.log.base_offset
+        stats["log_next"] = self.log.next_offset
+        stats["descriptors"] = len(self.mirror)
+        stats["restarts"] = self.restarts
+        stats["degraded"] = self.degraded
+        return stats
+
+    def kill(self) -> None:
+        """Hard-kill the worker (drill hook for crash-recovery tests)."""
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=5.0)
+
+    def close(self, graceful: bool = True) -> None:
+        if self._conn is not None:
+            if graceful:
+                try:
+                    self._conn.send({"op": "quit"})
+                    self._conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+        if self._process is not None:
+            self._process.join(timeout=5.0)
+            if self._process.is_alive():
+                self._process.kill()
+                self._process.join(timeout=5.0)
+            self._process = None
+
+
+class ShardedControlPlane:
+    """N rendezvous-hashed shards behind one CookieServer-shaped API."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        shards: int = 1,
+        mode: str = "auto",
+        policy: AccessPolicy | None = None,
+        staleness_bound: float = 1.0,
+        max_pending: int = 1024,
+        breaker: CircuitBreaker | None = None,
+        eager_broadcast: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        if mode not in ("in-process", "process", "auto"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if staleness_bound <= 0:
+            raise ValueError("staleness bound must be positive")
+        self.clock = clock
+        self.shard_count = shards
+        self.policy = policy if policy is not None else OpenAccessPolicy()
+        self.staleness_bound = staleness_bound
+        self.max_pending = max_pending
+        self.eager_broadcast = eager_broadcast
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(failure_threshold=5, reset_timeout=5.0, clock=clock)
+        )
+        if mode == "auto":
+            cores = os.cpu_count() or 1
+            mode = "process" if shards > 1 and cores >= 2 else "in-process"
+        self.mode = mode
+        self.offerings: dict[str, ServiceOffering] = {}
+        self.stats = ControlPlaneStats()
+        self.inflight = 0
+        self._lag_histogram = Histogram(
+            "cp.broadcast_lag_s", buckets=BROADCAST_LAG_BUCKETS
+        )
+        self._replicas: dict[str, VerifierReplica] = {}
+        #: unconfirmed revocations: [shard, offset, revoke_time, {replica}]
+        self._pending_revocations: list[list[Any]] = []
+        self._shards: list[Any]
+        if mode == "process":
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            self._shards = [
+                _WorkerShard(i, self.policy, ctx) for i in range(shards)
+            ]
+        else:
+            self._shards = [
+                _LocalShard(ControlPlaneShard(i, policy=self.policy))
+                for i in range(shards)
+            ]
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def offer(self, offering: ServiceOffering) -> ServiceOffering:
+        """Advertise a service on every shard (any id can land anywhere)."""
+        self.offerings[offering.name] = offering
+        for handle in self._shards:
+            handle.offer(offering)
+        return offering
+
+    def withdraw_offering(self, name: str) -> None:
+        self.offerings.pop(name, None)
+        for handle in self._shards:
+            handle.withdraw(name)
+
+    def list_services(self) -> list[dict[str, Any]]:
+        return [o.advertisement() for o in self.offerings.values()]
+
+    def shard_of(self, cookie_id: int) -> int:
+        return rendezvous_shard(cookie_id, self.shard_count)
+
+    # ------------------------------------------------------------------
+    # Admission control (load shedding)
+    # ------------------------------------------------------------------
+    def admit(self) -> dict[str, Any] | None:
+        """Admission gate for one request; ``None`` means admitted and
+        the caller owes a :meth:`release`.  A dict is the structured
+        shed response (§14.6) to return without doing any work."""
+        if not self.breaker.allow():
+            self.stats.shed_breaker += 1
+            return {
+                "ok": False,
+                "shed": True,
+                "error": "control plane shedding load: circuit breaker open",
+            }
+        if self.inflight >= self.max_pending:
+            self.stats.shed_pending += 1
+            return {
+                "ok": False,
+                "shed": True,
+                "error": (
+                    f"control plane shedding load: {self.inflight} requests "
+                    f"pending (limit {self.max_pending})"
+                ),
+            }
+        self.inflight += 1
+        return None
+
+    def release(self) -> None:
+        self.inflight = max(0, self.inflight - 1)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def _mint_ids(self, n: int) -> list[int]:
+        return [secrets.randbits(COOKIE_ID_BITS) for _ in range(n)]
+
+    def acquire_batch(
+        self, requests: Sequence[Sequence[Any]], now: float | None = None
+    ) -> list[dict[str, Any]]:
+        """Issue descriptors for ``(user, service[, credentials,
+        preferences])`` tuples, routed and dispatched per shard.
+
+        Returns one ``{"ok": ..., "descriptor"/"error": ...}`` per
+        request, in order.
+        """
+        if now is None:
+            now = self.clock()
+        ids = self._mint_ids(len(requests))
+        by_shard: dict[int, list[int]] = {}
+        for position, cookie_id in enumerate(ids):
+            by_shard.setdefault(self.shard_of(cookie_id), []).append(position)
+        results: list[dict[str, Any] | None] = [None] * len(requests)
+        for shard_index, positions in by_shard.items():
+            shard_requests = [
+                (requests[p][0], requests[p][1], ids[p], *requests[p][2:])
+                for p in positions
+            ]
+            try:
+                descriptors, errors = self._shards[shard_index].acquire_batch(
+                    shard_requests, now
+                )
+                self.breaker.record_success()
+            except _ShardFailure as exc:
+                self.breaker.record_failure()
+                self.stats.worker_failures += 1
+                for p in positions:
+                    results[p] = {
+                        "ok": False,
+                        "error": f"shard {shard_index} unavailable: {exc}",
+                    }
+                continue
+            for p, descriptor, error in zip(positions, descriptors, errors):
+                if descriptor is None:
+                    self.stats.denied += 1
+                    results[p] = {"ok": False, "error": error}
+                else:
+                    self.stats.acquired += 1
+                    results[p] = {"ok": True, "descriptor": descriptor}
+        return results  # type: ignore[return-value]
+
+    def acquire(
+        self,
+        user: str,
+        service: str,
+        credentials: dict[str, Any] | None = None,
+        preferences: dict[str, Any] | None = None,
+    ) -> CookieDescriptor:
+        """Single-descriptor acquisition, CookieServer-compatible."""
+        result = self.acquire_batch(
+            [(user, service, credentials, preferences)]
+        )[0]
+        if not result["ok"]:
+            raise AcquisitionDenied(result["error"])
+        return CookieDescriptor.from_json(result["descriptor"])
+
+    def revoke_batch(
+        self, cookie_ids: list[int], now: float | None = None
+    ) -> list[bool]:
+        """Revoke many descriptors, then broadcast to replicas at once."""
+        if now is None:
+            now = self.clock()
+        by_shard: dict[int, list[int]] = {}
+        for position, cookie_id in enumerate(cookie_ids):
+            by_shard.setdefault(self.shard_of(cookie_id), []).append(position)
+        revoked: list[bool] = [False] * len(cookie_ids)
+        touched: set[int] = set()
+        for shard_index, positions in by_shard.items():
+            handle = self._shards[shard_index]
+            try:
+                outcome = handle.revoke_batch(
+                    [cookie_ids[p] for p in positions], now
+                )
+                self.breaker.record_success()
+            except _ShardFailure:
+                self.breaker.record_failure()
+                self.stats.worker_failures += 1
+                continue
+            for p, ok in zip(positions, outcome):
+                revoked[p] = ok
+            if any(outcome):
+                touched.add(shard_index)
+                self.stats.revoked += sum(outcome)
+                if self._replicas:
+                    self._pending_revocations.append(
+                        [
+                            shard_index,
+                            handle.log.next_offset - 1,
+                            now,
+                            set(self._replicas),
+                        ]
+                    )
+        if touched and self.eager_broadcast and self._replicas:
+            self.sync_replicas(shards=touched)
+        return revoked
+
+    def revoke(self, cookie_id: int, by: str = "network") -> bool:
+        del by
+        return self.revoke_batch([cookie_id])[0]
+
+    def renew(
+        self,
+        user: str,
+        cookie_id: int,
+        credentials: dict[str, Any] | None = None,
+    ) -> CookieDescriptor:
+        """Fresh descriptor for the old one's service; the old one stays
+        valid until expiry (matching :class:`CookieServer.renew`)."""
+        old = self.lookup(cookie_id)
+        if old is None:
+            raise AcquisitionDenied(f"descriptor {cookie_id:#x} unknown")
+        descriptor = self.acquire(
+            user, str(old.service_data), credentials=credentials
+        )
+        self.stats.renewed += 1
+        return descriptor
+
+    def lookup(self, cookie_id: int) -> CookieDescriptor | None:
+        data = self._shards[self.shard_of(cookie_id)].lookup(cookie_id)
+        return None if data is None else CookieDescriptor.from_json(data)
+
+    def purge_expired(self, now: float | None = None) -> int:
+        if now is None:
+            now = self.clock()
+        purged = 0
+        for handle in self._shards:
+            try:
+                purged += handle.purge_expired(now)
+            except _ShardFailure:
+                self.stats.worker_failures += 1
+        self.stats.removed += purged
+        return purged
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def register_replica(self, replica: VerifierReplica) -> VerifierReplica:
+        """Attach a verifier replica and bring it current immediately."""
+        self._replicas[replica.name] = replica
+        self.sync_replicas(replicas=[replica.name])
+        return replica
+
+    def unregister_replica(self, name: str) -> bool:
+        existed = self._replicas.pop(name, None) is not None
+        for pending in self._pending_revocations:
+            pending[3].discard(name)
+        self._pending_revocations = [
+            p for p in self._pending_revocations if p[3]
+        ]
+        return existed
+
+    def sync_replicas(
+        self,
+        shards: set[int] | None = None,
+        replicas: list[str] | None = None,
+    ) -> int:
+        """One anti-entropy pass: push every reachable replica to the
+        head of each (selected) shard's log; snapshot-then-replay when
+        the replica's offset precedes the compaction horizon.  Returns
+        the number of (replica, shard) syncs that made progress.
+
+        Calling this at least once per :attr:`staleness_bound` is what
+        *makes* the bound hold; :meth:`revoke_batch` additionally calls
+        it eagerly so the common-case lag is one broadcast, not one
+        anti-entropy period.
+        """
+        now = self.clock()
+        progressed = 0
+        names = replicas if replicas is not None else list(self._replicas)
+        shard_indices = (
+            sorted(shards) if shards is not None else range(self.shard_count)
+        )
+        for name in names:
+            replica = self._replicas.get(name)
+            if replica is None or replica.partitioned:
+                continue
+            for shard_index in shard_indices:
+                handle = self._shards[shard_index]
+                applied = replica.applied_offset(shard_index)
+                if applied >= handle.log.next_offset:
+                    continue
+                try:
+                    try:
+                        records = handle.log.since(applied)
+                    except LogTruncated:
+                        snapshot = handle.snapshot()
+                        replica.install_snapshot(
+                            shard_index, snapshot, self.shard_count
+                        )
+                        self.stats.snapshot_catchups += 1
+                        records = []
+                    if records:
+                        replica.apply_deltas(shard_index, records, now=now)
+                except ReplicaUnreachable:
+                    break
+                progressed += 1
+            self._settle_pending(replica, now)
+        self.stats.syncs += 1
+        return progressed
+
+    def _settle_pending(self, replica: VerifierReplica, now: float) -> None:
+        """Observe broadcast lag for revocations this replica now holds."""
+        still_pending: list[list[Any]] = []
+        for pending in self._pending_revocations:
+            shard_index, offset, revoke_time, remaining = pending
+            if (
+                replica.name in remaining
+                and replica.applied_offset(shard_index) > offset
+            ):
+                self._lag_histogram.observe(max(0.0, now - revoke_time))
+                remaining.discard(replica.name)
+            if remaining:
+                still_pending.append(pending)
+        self._pending_revocations = still_pending
+
+    def compact_logs(self, aggressive: bool = False) -> int:
+        """Compact each shard's log.
+
+        Default horizon is the slowest replica's applied offset (safe:
+        nobody needs the dropped prefix).  ``aggressive=True`` compacts
+        to the head regardless — the partition drill uses it to force a
+        returning replica down the snapshot-then-replay path.
+        """
+        dropped = 0
+        for shard_index, handle in enumerate(self._shards):
+            if aggressive:
+                horizon = handle.log.next_offset
+            elif self._replicas:
+                horizon = min(
+                    r.applied_offset(shard_index)
+                    for r in self._replicas.values()
+                )
+            else:
+                horizon = handle.log.next_offset
+            dropped += handle.log.compact_to(horizon)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # JSON API (CookieServer-compatible, plus §14 extensions)
+    # ------------------------------------------------------------------
+    def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        try:
+            if op == "list_services":
+                return {"ok": True, "services": self.list_services()}
+            if op == "acquire":
+                return self.acquire_batch(
+                    [
+                        (
+                            str(request.get("user", "anonymous")),
+                            str(request.get("service", "")),
+                            request.get("credentials"),
+                            request.get("preferences"),
+                        )
+                    ]
+                )[0]
+            if op == "acquire_batch":
+                return {
+                    "ok": True,
+                    "results": self.acquire_batch(
+                        [
+                            (str(entry[0]), str(entry[1]), *entry[2:4])
+                            for entry in request["requests"]
+                        ]
+                    ),
+                }
+            if op == "revoke":
+                revoked = self.revoke(int(request["cookie_id"]))
+                return {"ok": revoked, "error": None if revoked else "unknown id"}
+            if op == "renew":
+                descriptor = self.renew(
+                    user=str(request.get("user", "anonymous")),
+                    cookie_id=int(request["cookie_id"]),
+                    credentials=request.get("credentials"),
+                )
+                return {"ok": True, "descriptor": descriptor.to_json()}
+            if op == "snapshot":
+                shard_index = int(request["shard"])
+                snapshot = self._shards[shard_index].snapshot()
+                return {"ok": True, "snapshot": snapshot.to_json()}
+            if op == "deltas_since":
+                shard_index = int(request["shard"])
+                offset = int(request["offset"])
+                try:
+                    records = self._shards[shard_index].log.since(offset)
+                except LogTruncated as exc:
+                    return {"ok": False, "truncated": True, "error": str(exc)}
+                return {
+                    "ok": True,
+                    "records": [r.to_json() for r in records],
+                    "next_offset": self._shards[shard_index].log.next_offset,
+                }
+            if op == "stats":
+                return {"ok": True, "stats": self.describe()}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except AcquisitionDenied as exc:
+            return {"ok": False, "error": str(exc)}
+        except IndexError:
+            return {"ok": False, "error": "unknown shard"}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+
+    # ------------------------------------------------------------------
+    # Introspection / telemetry
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> list[dict[str, int]]:
+        return [handle.stats() for handle in self._shards]
+
+    @property
+    def worker_restarts(self) -> int:
+        return sum(getattr(handle, "restarts", 0) for handle in self._shards)
+
+    def max_broadcast_lag(self) -> float:
+        """Largest settled revocation-to-enforcement lag seen so far."""
+        data = self._lag_histogram.snapshot()
+        if data.count == 0:
+            return 0.0
+        return data.quantile(1.0)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "shards": self.shard_count,
+            "staleness_bound": self.staleness_bound,
+            "max_pending": self.max_pending,
+            "inflight": self.inflight,
+            "breaker_state": self.breaker.state,
+            "replicas": {
+                name: replica.stats()
+                for name, replica in self._replicas.items()
+            },
+            "pending_revocations": len(self._pending_revocations),
+            "worker_restarts": self.worker_restarts,
+            "dispatcher": self.stats.as_dict(),
+            "shard_stats": self.shard_stats(),
+        }
+
+    def register_telemetry(
+        self, registry: Any, prefix: str = "cp"
+    ) -> None:
+        """Fold per-shard ops, log lengths, shed counts, and the
+        broadcast-lag histogram into a PR-1 metrics registry."""
+
+        def collect() -> TelemetrySnapshot:
+            counters: dict[str, float] = {
+                f"{prefix}.acquired": self.stats.acquired,
+                f"{prefix}.denied": self.stats.denied,
+                f"{prefix}.revoked": self.stats.revoked,
+                f"{prefix}.removed": self.stats.removed,
+                f"{prefix}.renewed": self.stats.renewed,
+                f"{prefix}.shed_pending": self.stats.shed_pending,
+                f"{prefix}.shed_breaker": self.stats.shed_breaker,
+                f"{prefix}.worker_restarts": self.worker_restarts,
+                f"{prefix}.worker_failures": self.stats.worker_failures,
+                f"{prefix}.syncs": self.stats.syncs,
+                f"{prefix}.snapshot_catchups": self.stats.snapshot_catchups,
+            }
+            gauges: dict[str, float] = {
+                f"{prefix}.shards": self.shard_count,
+                f"{prefix}.replicas": len(self._replicas),
+                f"{prefix}.inflight": self.inflight,
+                f"{prefix}.pending_revocations": len(self._pending_revocations),
+            }
+            for stats in self.shard_stats():
+                shard_index = stats.get("shard", 0)
+                counters[f"{prefix}.shard{shard_index}.acquired"] = stats.get(
+                    "acquired", 0
+                )
+                gauges[f"{prefix}.shard{shard_index}.log_len"] = stats.get(
+                    "log_len", 0
+                )
+                gauges[f"{prefix}.shard{shard_index}.descriptors"] = stats.get(
+                    "descriptors", 0
+                )
+            return TelemetrySnapshot(
+                counters=counters,
+                gauges=gauges,
+                histograms={
+                    f"{prefix}.broadcast_lag_s": self._lag_histogram.snapshot()
+                },
+            )
+
+        registry.register_collector(f"{prefix}.controlplane", collect)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for handle in self._shards:
+            handle.close()
+
+    def __enter__(self) -> "ShardedControlPlane":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -9,6 +9,17 @@ The protocol is one JSON object per line in each direction.  It is
 deliberately boring: the interesting guarantees (authentication,
 revocability, auditability) live in :class:`CookieServer`, not in the
 framing.
+
+:class:`JsonLineServer` is the shared transport: it owns the socket
+lifecycle plus the two abuse guards every JSON-lines listener needs —
+a **concurrent-connection cap** (over-limit clients get a structured
+``{"shed": true}`` error and a close instead of hanging in the accept
+queue) and a **per-request body cap** enforced by the stream reader's
+buffer limit, so a slow-loris client trickling bytes without a newline
+is bounded at ``max_request_bytes`` instead of growing the buffer
+forever.  :class:`AsyncCookieServer` plugs a :class:`CookieServer` into
+it; :class:`repro.core.cp.AsyncControlPlaneServer` does the same for the
+sharded control plane.
 """
 
 from __future__ import annotations
@@ -19,27 +30,59 @@ from typing import Any
 
 from .server import CookieServer
 
-__all__ = ["AsyncCookieServer", "CookieClient", "request_over_tcp"]
+__all__ = [
+    "AsyncCookieServer",
+    "CookieClient",
+    "JsonLineServer",
+    "request_over_tcp",
+]
 
 MAX_LINE_BYTES = 1_000_000
+#: Default concurrent-connection cap; generous for tests and examples,
+#: small enough that a connection flood degrades to fast structured
+#: sheds instead of fd exhaustion.
+MAX_CONNECTIONS = 64
 
 
-class AsyncCookieServer:
-    """Serves a :class:`CookieServer` over TCP with JSON-lines framing."""
+class JsonLineServer:
+    """JSON-lines-over-TCP transport with connection and body caps."""
 
-    def __init__(self, server: CookieServer, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.server = server
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = MAX_CONNECTIONS,
+        max_request_bytes: int = MAX_LINE_BYTES,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        if max_request_bytes < 2:
+            raise ValueError("max_request_bytes must be >= 2")
         self.host = host
         self.port = port
+        self.max_connections = max_connections
+        self.max_request_bytes = max_request_bytes
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._open_writers: set[asyncio.StreamWriter] = set()
         self.connections_handled = 0
+        self.connections_shed = 0
+        self.oversize_requests = 0
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Serve one request dict; subclasses supply the application."""
+        raise NotImplementedError
 
     async def start(self) -> tuple[str, int]:
         """Bind and start serving; returns the (host, port) actually bound
         (``port=0`` picks a free port)."""
         self._asyncio_server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection,
+            self.host,
+            self.port,
+            # The reader refuses to buffer more than one request body:
+            # readline() past this raises instead of growing without
+            # bound under a newline-less trickle.
+            limit=self.max_request_bytes,
         )
         sockname = self._asyncio_server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
@@ -57,31 +100,86 @@ class AsyncCookieServer:
         # Give handler tasks a turn to observe the closed sockets.
         await asyncio.sleep(0)
 
+    async def _send(
+        self, writer: asyncio.StreamWriter, response: dict[str, Any]
+    ) -> None:
+        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        await writer.drain()
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_handled += 1
+        if len(self._open_writers) >= self.max_connections:
+            # Shed, don't hang: the client gets a structured error and a
+            # clean close instead of an unexplained stall.
+            self.connections_shed += 1
+            try:
+                await self._send(
+                    writer,
+                    {
+                        "ok": False,
+                        "shed": True,
+                        "error": (
+                            f"server at connection capacity "
+                            f"({self.max_connections})"
+                        ),
+                    },
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return
         self._open_writers.add(writer)
         try:
             while True:
                 try:
                     line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Body cap tripped.  Framing is lost mid-line, so
+                    # answer once and close rather than resynchronize.
+                    self.oversize_requests += 1
+                    try:
+                        await self._send(
+                            writer,
+                            {
+                                "ok": False,
+                                "shed": True,
+                                "error": (
+                                    f"request exceeds "
+                                    f"{self.max_request_bytes} bytes"
+                                ),
+                            },
+                        )
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
                     break
                 if not line:
                     break
-                if len(line) > MAX_LINE_BYTES:
-                    response = {"ok": False, "error": "request too large"}
+                if len(line) > self.max_request_bytes:
+                    response = {
+                        "ok": False,
+                        "shed": True,
+                        "error": (
+                            f"request exceeds {self.max_request_bytes} bytes"
+                        ),
+                    }
+                    self.oversize_requests += 1
                 else:
                     try:
                         request = json.loads(line)
                         if not isinstance(request, dict):
                             raise ValueError("request must be a JSON object")
-                        response = self.server.handle_request(request)
+                        response = self.handle(request)
                     except (json.JSONDecodeError, ValueError) as exc:
                         response = {"ok": False, "error": f"bad request: {exc}"}
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
-                await writer.drain()
+                await self._send(writer, response)
         finally:
             self._open_writers.discard(writer)
             writer.close()
@@ -89,6 +187,29 @@ class AsyncCookieServer:
                 await writer.wait_closed()
             except ConnectionResetError:
                 pass
+
+
+class AsyncCookieServer(JsonLineServer):
+    """Serves a :class:`CookieServer` over TCP with JSON-lines framing."""
+
+    def __init__(
+        self,
+        server: CookieServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = MAX_CONNECTIONS,
+        max_request_bytes: int = MAX_LINE_BYTES,
+    ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            max_connections=max_connections,
+            max_request_bytes=max_request_bytes,
+        )
+        self.server = server
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        return self.server.handle_request(request)
 
 
 class CookieClient:

@@ -10,6 +10,7 @@ fig6_accuracy     Fig. 6 matching accuracy (cookies/nDPI/OOB)
 sec3_dpi          §3 DPI-limitation measurements
 sec46_campus      §4.6 campus-trace replay
 scaleout          §5 multi-core verification scale-out
+controlplane      §4.2 cookie server at million-subscriber scale
 ================  ==============================================
 
 Fig. 1 and Fig. 2 live in :mod:`repro.study` (BoostStudy /
@@ -31,6 +32,11 @@ from .chaos import (
     run_chaos,
     run_outage_drill,
     run_pool_kill_drill,
+)
+from .controlplane import (
+    DEFAULT_SHARD_COUNTS,
+    format_controlplane_report,
+    run_controlplane,
 )
 from .fig4_throughput import (
     FLOW_LENGTHS,
@@ -70,6 +76,9 @@ __all__ = [
     "run_chaos",
     "run_outage_drill",
     "run_pool_kill_drill",
+    "DEFAULT_SHARD_COUNTS",
+    "format_controlplane_report",
+    "run_controlplane",
     "FLOW_LENGTHS",
     "PACKET_SIZES",
     "Fig4Point",

@@ -21,6 +21,11 @@ from .coverage import (
     builtin_programs,
     ndpi_app_coverage,
 )
+from .population import (
+    DEFAULT_EVENT_MIX,
+    ChurnEvent,
+    SubscriberPopulation,
+)
 from .preferences import (
     AppPreferenceSampler,
     WebsitePreferenceSampler,
@@ -49,6 +54,9 @@ __all__ = [
     "analyze_coverage",
     "builtin_programs",
     "ndpi_app_coverage",
+    "DEFAULT_EVENT_MIX",
+    "ChurnEvent",
+    "SubscriberPopulation",
     "AppPreferenceSampler",
     "WebsitePreferenceSampler",
     "WeightedSampler",

@@ -1,0 +1,157 @@
+"""Synthetic subscriber populations for control-plane load (PR 8).
+
+Scales the study's calibrated samplers from survey size (161 homes,
+1000 respondents) to operator size (a million subscribers), producing
+the descriptor-lifecycle churn the sharded control plane is benchmarked
+under:
+
+* Each subscriber's zero-rated app is drawn from
+  :class:`~repro.study.preferences.AppPreferenceSampler`'s weighted
+  catalog — the Fig. 2 heavy tail, so offerings see realistic skew.
+* Subscriber *activity* is Zipf-distributed (exponent
+  ``activity_exponent``): a small head of subscribers churns
+  constantly, the tail barely at all — the EU zero-rating study's
+  constant-policy-churn picture.
+* Op arrivals form a Poisson process (exponential inter-arrivals) at a
+  configurable rate, which is exactly what an open-loop load generator
+  should replay: arrivals do not slow down because the server did.
+
+Everything is seeded and deterministic; a million-subscriber population
+builds in a couple of seconds and stores one small int per subscriber.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from dataclasses import dataclass
+from typing import Iterator
+
+from .appstore import AppCatalog
+from .preferences import AppPreferenceSampler
+
+__all__ = ["ChurnEvent", "SubscriberPopulation", "DEFAULT_EVENT_MIX"]
+
+#: acquire / renew / revoke shares of the churn stream.
+DEFAULT_EVENT_MIX = (0.70, 0.20, 0.10)
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One descriptor-lifecycle intent in the open-loop schedule.
+
+    ``renew``/``revoke`` name the *subscriber*, not a cookie id — the
+    load generator resolves them against whatever descriptor that
+    subscriber holds at replay time (a schedule cannot know ids the
+    server has not minted yet).
+    """
+
+    time: float
+    kind: str  # "acquire" | "renew" | "revoke"
+    subscriber: int
+    service: str
+
+
+class SubscriberPopulation:
+    """``size`` subscribers with app preferences and Zipf activity."""
+
+    def __init__(
+        self,
+        size: int,
+        seed: int = 20160822,
+        catalog: AppCatalog | None = None,
+        activity_exponent: float = 1.1,
+    ) -> None:
+        if size < 1:
+            raise ValueError("population size must be >= 1")
+        self.size = size
+        self.seed = seed
+        self.rng = random.Random(seed)
+        sampler = AppPreferenceSampler(catalog=catalog, seed=seed)
+        self.service_names: list[str] = [
+            app.name for app in sampler.catalog.apps
+        ]
+        index_of = {name: i for i, name in enumerate(self.service_names)}
+        # One unsigned short per subscriber: the preferred service.
+        self._preference = array(
+            "H", (index_of[sampler.draw().name] for _ in range(size))
+        )
+        # Zipf activity: cumulative weights once, O(log n) per draw.
+        self._activity_cumulative = array("d")
+        total = 0.0
+        for rank in range(1, size + 1):
+            total += rank ** -activity_exponent
+            self._activity_cumulative.append(total)
+
+    def service_of(self, subscriber: int) -> str:
+        return self.service_names[self._preference[subscriber]]
+
+    def draw_subscriber(self) -> int:
+        """One Zipf-weighted active subscriber."""
+        from bisect import bisect_left
+
+        point = self.rng.random() * self._activity_cumulative[-1]
+        return bisect_left(self._activity_cumulative, point)
+
+    def service_popularity(self) -> dict[str, int]:
+        """Subscribers per preferred service (the offered catalog skew)."""
+        counts: dict[str, int] = {}
+        for index in self._preference:
+            name = self.service_names[index]
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def events(
+        self,
+        rate: float,
+        duration: float,
+        start: float = 0.0,
+        mix: tuple[float, float, float] = DEFAULT_EVENT_MIX,
+    ) -> Iterator[ChurnEvent]:
+        """Open-loop Poisson churn: ``rate`` ops/s for ``duration``
+        seconds of schedule time, in arrival order."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        acquire_share, renew_share, _ = mix
+        if min(mix) < 0 or abs(sum(mix) - 1.0) > 1e-9:
+            raise ValueError("mix must be non-negative and sum to 1")
+        t = start
+        end = start + duration
+        while True:
+            t += self.rng.expovariate(rate)
+            if t >= end:
+                return
+            subscriber = self.draw_subscriber()
+            roll = self.rng.random()
+            if roll < acquire_share:
+                kind = "acquire"
+            elif roll < acquire_share + renew_share:
+                kind = "renew"
+            else:
+                kind = "revoke"
+            yield ChurnEvent(
+                time=t,
+                kind=kind,
+                subscriber=subscriber,
+                service=self.service_of(subscriber),
+            )
+
+    def take_events(
+        self,
+        count: int,
+        rate: float = 1000.0,
+        start: float = 0.0,
+        mix: tuple[float, float, float] = DEFAULT_EVENT_MIX,
+    ) -> list[ChurnEvent]:
+        """Exactly ``count`` events (duration stretched as needed)."""
+        out: list[ChurnEvent] = []
+        t = start
+        while len(out) < count:
+            for event in self.events(
+                rate, duration=max(1.0, count / rate), start=t, mix=mix
+            ):
+                out.append(event)
+                if len(out) == count:
+                    break
+            t += max(1.0, count / rate)
+        return out

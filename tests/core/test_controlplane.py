@@ -1,0 +1,337 @@
+"""Sharded control plane: routing, replication, shedding, recovery.
+
+Covers the PR-8 tentpole end to end at unit scale: rendezvous routing
+parity with the data plane, the CookieServer-compatible JSON API plus
+the §14 extensions, revocation broadcast under the staleness bound,
+partition recovery by snapshot-then-replay, load shedding through the
+admission gate, process-mode parity with a worker kill drill, and the
+telemetry collector.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import (
+    AcquisitionDenied,
+    ServiceOffering,
+)
+from repro.core.cp import (
+    AsyncControlPlaneServer,
+    ShardedControlPlane,
+    VerifierReplica,
+)
+from repro.core.distributed import rendezvous_shard
+from repro.core.netserver import CookieClient
+from repro.telemetry import MetricsRegistry
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _controlplane(shards: int = 2, **kwargs) -> ShardedControlPlane:
+    clock = kwargs.pop("clock", ManualClock())
+    controlplane = ShardedControlPlane(
+        clock=clock, shards=shards, mode=kwargs.pop("mode", "in-process"),
+        **kwargs,
+    )
+    controlplane.offer(ServiceOffering(name="Boost", description="fast lane"))
+    return controlplane
+
+
+class TestRoutingAndLifecycle:
+    def test_acquire_routes_by_rendezvous_hash(self):
+        with _controlplane(shards=4) as controlplane:
+            descriptors = [
+                controlplane.acquire(f"user{i}", "Boost") for i in range(32)
+            ]
+            for descriptor in descriptors:
+                shard = rendezvous_shard(descriptor.cookie_id, 4)
+                assert controlplane.shard_of(descriptor.cookie_id) == shard
+                stats = controlplane.shard_stats()[shard]
+                assert stats["descriptors"] >= 1
+                found = controlplane.lookup(descriptor.cookie_id)
+                assert found is not None
+                assert found.cookie_id == descriptor.cookie_id
+            # Every acquisition landed on exactly one shard.
+            assert sum(
+                s["acquired"] for s in controlplane.shard_stats()
+            ) == len(descriptors)
+
+    def test_revoke_renew_and_purge(self):
+        clock = ManualClock()
+        with _controlplane(shards=2, clock=clock) as controlplane:
+            controlplane.offer(
+                ServiceOffering(name="Shortlived", lifetime=10.0)
+            )
+            descriptor = controlplane.acquire("alice", "Shortlived")
+            renewed = controlplane.renew("alice", descriptor.cookie_id)
+            assert renewed.cookie_id != descriptor.cookie_id
+            assert renewed.service_data == "Shortlived"
+            assert controlplane.revoke(descriptor.cookie_id)
+            assert not controlplane.revoke(descriptor.cookie_id + 1)
+            looked_up = controlplane.lookup(descriptor.cookie_id)
+            assert looked_up is not None and looked_up.revoked
+            clock.advance(11.0)
+            assert controlplane.purge_expired() == 2
+            assert controlplane.lookup(renewed.cookie_id) is None
+
+    def test_unknown_service_denied(self):
+        with _controlplane() as controlplane:
+            with pytest.raises(AcquisitionDenied):
+                controlplane.acquire("alice", "nope")
+            assert controlplane.stats.denied == 1
+
+    def test_json_api_cookieserver_compatible_plus_extensions(self):
+        with _controlplane(shards=2) as controlplane:
+            services = controlplane.handle_request({"op": "list_services"})
+            assert services["ok"]
+            assert services["services"][0]["name"] == "Boost"
+            granted = controlplane.handle_request(
+                {"op": "acquire", "user": "alice", "service": "Boost"}
+            )
+            assert granted["ok"]
+            cookie_id = int(granted["descriptor"]["cookie_id"])
+            renewed = controlplane.handle_request(
+                {"op": "renew", "user": "alice", "cookie_id": cookie_id}
+            )
+            assert renewed["ok"]
+            revoked = controlplane.handle_request(
+                {"op": "revoke", "cookie_id": cookie_id}
+            )
+            assert revoked["ok"]
+
+            shard = controlplane.shard_of(cookie_id)
+            snapshot = controlplane.handle_request(
+                {"op": "snapshot", "shard": shard}
+            )
+            assert snapshot["ok"]
+            assert snapshot["snapshot"]["offset"] >= 1
+            deltas = controlplane.handle_request(
+                {"op": "deltas_since", "shard": shard, "offset": 0}
+            )
+            assert deltas["ok"]
+            assert deltas["records"][0]["op"] == "add"
+            stats = controlplane.handle_request({"op": "stats"})
+            assert stats["ok"] and stats["stats"]["shards"] == 2
+            assert not controlplane.handle_request({"op": "frobnicate"})["ok"]
+            assert not controlplane.handle_request(
+                {"op": "snapshot", "shard": 99}
+            )["ok"]
+
+
+class TestReplication:
+    def test_eager_revocation_broadcast_within_bound(self):
+        clock = ManualClock()
+        with _controlplane(
+            shards=2, clock=clock, staleness_bound=1.0
+        ) as controlplane:
+            replica = controlplane.register_replica(VerifierReplica("mb0"))
+            descriptor = controlplane.acquire("alice", "Boost")
+            controlplane.sync_replicas()
+            mirrored = replica.store.get(descriptor.cookie_id)
+            assert mirrored is not None and not mirrored.revoked
+            # Eager broadcast: revoke pushes to the replica immediately.
+            assert controlplane.revoke(descriptor.cookie_id)
+            assert replica.store.get(descriptor.cookie_id).revoked
+            assert (
+                controlplane.max_broadcast_lag()
+                <= controlplane.staleness_bound
+            )
+
+    def test_lazy_broadcast_measures_real_lag(self):
+        clock = ManualClock()
+        with _controlplane(
+            shards=1,
+            clock=clock,
+            staleness_bound=1.0,
+            eager_broadcast=False,
+        ) as controlplane:
+            replica = controlplane.register_replica(VerifierReplica("mb0"))
+            descriptor = controlplane.acquire("alice", "Boost")
+            controlplane.sync_replicas()
+            assert controlplane.revoke(descriptor.cookie_id)
+            assert not replica.store.get(descriptor.cookie_id).revoked
+            clock.advance(0.4)  # one anti-entropy period later
+            controlplane.sync_replicas()
+            assert replica.store.get(descriptor.cookie_id).revoked
+            lag = controlplane.max_broadcast_lag()
+            # 0.4s of real staleness, reported as its histogram bucket.
+            assert 0.4 <= lag <= controlplane.staleness_bound
+
+    def test_partition_recovery_by_snapshot_then_replay(self):
+        clock = ManualClock()
+        with _controlplane(shards=2, clock=clock) as controlplane:
+            replica = controlplane.register_replica(VerifierReplica("mb0"))
+            kept = controlplane.acquire("alice", "Boost")
+            removed = controlplane.acquire("bob", "Boost")
+            controlplane.sync_replicas()
+            assert replica.store.get(removed.cookie_id) is not None
+
+            replica.partition()
+            revoked = controlplane.acquire("carol", "Boost")
+            controlplane.revoke(revoked.cookie_id)
+            for handle in controlplane._shards:
+                handle.remove_batch([removed.cookie_id], clock())
+            # Compaction drops the window the replica still needed.
+            controlplane.compact_logs(aggressive=True)
+            clock.advance(0.2)
+            replica.heal()
+            controlplane.sync_replicas()
+
+            assert controlplane.stats.snapshot_catchups >= 1
+            assert replica.snapshots_installed >= 1
+            assert replica.store.get(kept.cookie_id) is not None
+            assert replica.store.get(revoked.cookie_id).revoked
+            # The id removed during the partition was purged on install.
+            assert replica.store.get(removed.cookie_id) is None
+            assert (
+                controlplane.max_broadcast_lag()
+                <= controlplane.staleness_bound
+            )
+
+    def test_compaction_default_horizon_is_slowest_replica(self):
+        with _controlplane(shards=1) as controlplane:
+            fresh = controlplane.register_replica(VerifierReplica("fresh"))
+            for i in range(8):
+                controlplane.acquire(f"user{i}", "Boost")
+            controlplane.sync_replicas()
+            laggard = VerifierReplica("laggard")
+            laggard.partition()
+            controlplane.register_replica(laggard)
+            # Laggard is at offset 0: nothing may be dropped.
+            assert controlplane.compact_logs() == 0
+            laggard.heal()
+            controlplane.sync_replicas()
+            assert controlplane.compact_logs() == 8
+            assert fresh.applied_offset(0) == 8
+
+
+class TestLoadShedding:
+    def test_pending_cap_sheds_with_structured_error(self):
+        with _controlplane(shards=1, max_pending=2) as controlplane:
+            assert controlplane.admit() is None
+            assert controlplane.admit() is None
+            shed = controlplane.admit()
+            assert shed is not None and shed["shed"]
+            assert "pending" in shed["error"]
+            assert controlplane.stats.shed_pending == 1
+            controlplane.release()
+            assert controlplane.admit() is None
+
+    def test_open_breaker_sheds(self):
+        with _controlplane(shards=1) as controlplane:
+            for _ in range(5):
+                controlplane.breaker.record_failure()
+            shed = controlplane.admit()
+            assert shed is not None and shed["shed"]
+            assert "circuit breaker" in shed["error"]
+            assert controlplane.stats.shed_breaker == 1
+
+
+class TestProcessMode:
+    def test_worker_kill_drill_recovers_state(self):
+        """Kill a worker mid-stream: the parent respawns it, re-seeds it
+        from the mirror, and serving continues with nothing lost."""
+        import time
+
+        controlplane = ShardedControlPlane(
+            clock=time.monotonic, shards=2, mode="process"
+        )
+        try:
+            controlplane.offer(ServiceOffering(name="Boost"))
+            before = [
+                controlplane.acquire(f"user{i}", "Boost") for i in range(20)
+            ]
+            controlplane._shards[0].kill()
+            after = [
+                controlplane.acquire(f"late{i}", "Boost") for i in range(10)
+            ]
+            for descriptor in before + after:
+                found = controlplane.lookup(descriptor.cookie_id)
+                assert found is not None
+                assert found.cookie_id == descriptor.cookie_id
+            assert controlplane.worker_restarts >= 1
+            assert controlplane.revoke(before[0].cookie_id)
+            assert controlplane.lookup(before[0].cookie_id).revoked
+        finally:
+            controlplane.close()
+
+    def test_process_mode_snapshot_matches_mirror(self):
+        import time
+
+        controlplane = ShardedControlPlane(
+            clock=time.monotonic, shards=2, mode="process"
+        )
+        try:
+            controlplane.offer(ServiceOffering(name="Boost"))
+            issued = {
+                controlplane.acquire(f"user{i}", "Boost").cookie_id
+                for i in range(12)
+            }
+            mirrored = {
+                int(d["cookie_id"])
+                for handle in controlplane._shards
+                for d in handle.snapshot().descriptors
+            }
+            assert mirrored == issued
+        finally:
+            controlplane.close()
+
+
+class TestAsyncServer:
+    def test_serves_and_sheds_over_tcp(self):
+        async def scenario():
+            controlplane = _controlplane(shards=2)
+            tcp = AsyncControlPlaneServer(controlplane)
+            host, port = await tcp.start()
+            client = CookieClient(host, port)
+            try:
+                granted = await client.request(
+                    {"op": "acquire", "user": "alice", "service": "Boost"}
+                )
+                for _ in range(5):
+                    controlplane.breaker.record_failure()
+                shed = await client.request(
+                    {"op": "acquire", "user": "bob", "service": "Boost"}
+                )
+            finally:
+                await client.close()
+                await tcp.stop()
+                controlplane.close()
+            return granted, shed, controlplane.inflight
+
+        granted, shed, inflight = asyncio.run(scenario())
+        assert granted["ok"]
+        assert shed["shed"] and not shed["ok"]
+        assert inflight == 0  # every admit was released
+
+
+class TestTelemetry:
+    def test_collector_merges_into_registry(self):
+        with _controlplane(shards=2) as controlplane:
+            registry = MetricsRegistry()
+            controlplane.register_telemetry(registry)
+            assert "cp.controlplane" in registry.collector_names
+            descriptor = controlplane.acquire("alice", "Boost")
+            controlplane.register_replica(VerifierReplica("mb0"))
+            controlplane.revoke(descriptor.cookie_id)
+            controlplane.admit()
+            controlplane.release()
+            snapshot = registry.snapshot()
+            assert snapshot.counters["cp.acquired"] == 1
+            assert snapshot.counters["cp.revoked"] == 1
+            assert snapshot.gauges["cp.shards"] == 2
+            assert snapshot.gauges["cp.replicas"] == 1
+            shard = controlplane.shard_of(descriptor.cookie_id)
+            assert snapshot.gauges[f"cp.shard{shard}.log_len"] >= 2
+            lag = snapshot.histograms["cp.broadcast_lag_s"]
+            assert lag.count == 1

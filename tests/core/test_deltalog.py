@@ -1,0 +1,173 @@
+"""Property tests for the delta log (PROTOCOL.md §14.2).
+
+The control plane's replication story rests on two invariants, checked
+here under arbitrary add/revoke/remove interleavings:
+
+* **Equivalence** — snapshot at any cut point + replay of the suffix
+  reproduces the directly-mutated store exactly.
+* **Idempotence** — re-delivering an overlapping window from any stale
+  offset changes nothing (an ``add`` record never resurrects state a
+  later ``revoke``/``remove`` already changed).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.cp.deltalog import (
+    DeltaLog,
+    LogTruncated,
+    StoreSnapshot,
+    replay,
+)
+from repro.core.descriptor import CookieDescriptor
+from repro.core.store import DescriptorStore
+
+SLOTS = 6
+
+#: (op, slot): ``slot`` names a logical descriptor; revoke/remove target
+#: whatever id that slot last minted (None → no-op, like the shard).
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "revoke", "remove"]),
+        st.integers(0, SLOTS - 1),
+    ),
+    max_size=40,
+)
+
+
+def _drive(ops):
+    """Apply ``ops`` directly to a store while logging each successful
+    mutation — exactly what :class:`ControlPlaneShard` does."""
+    log = DeltaLog()
+    direct = DescriptorStore()
+    slot_ids: dict[int, int] = {}
+    for step, (op, slot) in enumerate(ops):
+        t = float(step)
+        if op == "add":
+            descriptor = CookieDescriptor.create(service_data=f"svc{slot}")
+            direct.add(descriptor)
+            log.append(
+                "add", descriptor.cookie_id, t, descriptor.to_json()
+            )
+            slot_ids[slot] = descriptor.cookie_id
+        elif op == "revoke":
+            cookie_id = slot_ids.get(slot)
+            if cookie_id is not None and direct.revoke(cookie_id):
+                log.append("revoke", cookie_id, t)
+        else:  # remove
+            cookie_id = slot_ids.get(slot)
+            if cookie_id is not None and direct.remove(cookie_id):
+                log.append("remove", cookie_id, t)
+    return log, direct
+
+
+def _state(store) -> dict[int, dict]:
+    return {d.cookie_id: d.to_json() for d in store}
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=ops_strategy)
+def test_full_replay_equals_direct_state(ops):
+    log, direct = _drive(ops)
+    replica = DescriptorStore()
+    applied = replay(replica, log.since(0))
+    assert applied == log.next_offset
+    assert _state(replica) == _state(direct)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=ops_strategy, data=st.data())
+def test_snapshot_plus_suffix_replay_equals_direct_state(ops, data):
+    log, direct = _drive(ops)
+    cut = data.draw(st.integers(0, log.next_offset), label="cut")
+
+    # A replica that had applied exactly ``cut`` records…
+    donor = DescriptorStore()
+    replay(donor, log.since(0)[:cut])
+    snapshot = StoreSnapshot.take(donor, cut)
+
+    # …hands its snapshot to a cold store, which replays the suffix.
+    cold = DescriptorStore()
+    snapshot.install(cold)
+    applied = replay(cold, log.since(cut), applied_offset=cut)
+    assert applied == log.next_offset
+    assert _state(cold) == _state(direct)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=ops_strategy, data=st.data())
+def test_replay_idempotent_from_stale_offset(ops, data):
+    """The reconnect case: a replica at offset ``k`` is re-served the
+    window starting at ``j <= k``.  The overlap must be skipped."""
+    log, direct = _drive(ops)
+    k = data.draw(st.integers(0, log.next_offset), label="applied")
+    j = data.draw(st.integers(0, k), label="window start")
+
+    replica = DescriptorStore()
+    replay(replica, log.since(0)[:k])
+    before = _state(replica)
+
+    applied = replay(replica, log.since(j), applied_offset=k)
+    assert applied == log.next_offset
+    # Everything below k was skipped; only the true suffix landed.
+    suffix_only = DescriptorStore()
+    replay(suffix_only, log.since(0))
+    assert _state(replica) == _state(suffix_only) == _state(direct)
+
+    # Degenerate overlap: redelivering with nothing new is a no-op.
+    assert replay(replica, log.since(j), applied_offset=applied) == applied
+    assert _state(replica) == _state(direct)
+    del before
+
+
+def test_replay_rejects_gaps():
+    log, _direct = _drive([("add", 0), ("add", 1), ("add", 2)])
+    records = log.since(0)
+    replica = DescriptorStore()
+    with pytest.raises(ValueError, match="delta gap"):
+        replay(replica, [records[0], records[2]])
+
+
+def test_stale_add_never_resurrects_revocation():
+    """The invariant PROTOCOL.md §14.3 names: redelivered ``add`` must
+    not overwrite a later ``revoke`` the replica already applied."""
+    log, direct = _drive([("add", 0), ("revoke", 0)])
+    replica = DescriptorStore()
+    applied = replay(replica, log.since(0))
+    assert next(iter(replica)).revoked
+    # The server re-serves the whole window; the add is skipped.
+    replay(replica, log.since(0), applied_offset=applied)
+    assert next(iter(replica)).revoked
+    assert _state(replica) == _state(direct)
+
+
+def test_compaction_truncates_and_since_raises():
+    log, _direct = _drive([("add", i % SLOTS) for i in range(10)])
+    assert log.compact_to(4) == 4
+    assert log.base_offset == 4
+    assert len(log) == 6
+    assert not log.covers(3)
+    assert log.covers(4)
+    with pytest.raises(LogTruncated):
+        log.since(3)
+    assert [r.offset for r in log.since(4)] == list(range(4, 10))
+    # Compacting beyond the head clamps; numbering survives.
+    assert log.compact_to(99) == 6
+    assert log.next_offset == 10
+    assert log.since(10) == []
+
+
+def test_record_roundtrip_and_validation():
+    log = DeltaLog()
+    with pytest.raises(ValueError, match="unknown delta op"):
+        log.append("frobnicate", 1, 0.0)
+    with pytest.raises(ValueError, match="must carry the descriptor"):
+        log.append("add", 1, 0.0)
+    descriptor = CookieDescriptor.create(service_data="Boost")
+    record = log.append("add", descriptor.cookie_id, 1.5, descriptor.to_json())
+    from repro.core.cp.deltalog import DeltaRecord
+
+    assert DeltaRecord.from_json(record.to_json()) == record
+    snapshot = StoreSnapshot(offset=1, descriptors=[descriptor.to_json()])
+    assert StoreSnapshot.from_json(snapshot.to_json()) == snapshot

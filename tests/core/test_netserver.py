@@ -145,3 +145,92 @@ class TestProtocol:
             await client.close()
 
         _run(scenario())
+
+
+class TestAbuseGuards:
+    """The JsonLineServer caps (PR 8): connection shedding + body cap."""
+
+    def test_connection_cap_sheds_structured(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server(), max_connections=1)
+            host, port = await tcp.start()
+            first = CookieClient(host, port)
+            try:
+                # Occupy the only slot…
+                await first.request({"op": "list_services"})
+                # …then the next connection is shed, not hung.
+                reader, writer = await asyncio.open_connection(host, port)
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                shed = json.loads(line)
+                trailer = await asyncio.wait_for(reader.read(), timeout=5.0)
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await first.close()
+                await tcp.stop()
+            return shed, trailer, tcp.connections_shed
+
+        shed, trailer, shed_count = _run(scenario())
+        assert shed == {
+            "ok": False,
+            "shed": True,
+            "error": "server at connection capacity (1)",
+        }
+        assert trailer == b""  # server closed after shedding
+        assert shed_count == 1
+
+    def test_slot_freed_after_client_disconnects(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server(), max_connections=1)
+            host, port = await tcp.start()
+            try:
+                first = CookieClient(host, port)
+                await first.request({"op": "list_services"})
+                await first.close()
+                await asyncio.sleep(0)  # let the server reap the writer
+                second = CookieClient(host, port)
+                response = await second.request({"op": "list_services"})
+                await second.close()
+            finally:
+                await tcp.stop()
+            return response
+
+        assert _run(scenario())["ok"]
+
+    def test_oversize_request_shed_and_connection_closed(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server(), max_request_bytes=128)
+            host, port = await tcp.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                # A newline-less trickle larger than the body cap: the
+                # reader's buffer limit trips before any newline shows up.
+                writer.write(b"x" * 4096)
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                shed = json.loads(line)
+                trailer = await asyncio.wait_for(reader.read(), timeout=5.0)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                await tcp.stop()
+            return shed, trailer, tcp.oversize_requests
+
+        shed, trailer, oversize = _run(scenario())
+        assert shed["shed"] and not shed["ok"]
+        assert "128 bytes" in shed["error"]
+        assert trailer == b""  # framing lost, server closed
+        assert oversize == 1
+
+    def test_request_under_cap_still_served(self):
+        async def scenario():
+            tcp = AsyncCookieServer(_make_server(), max_request_bytes=256)
+            host, port = await tcp.start()
+            client = CookieClient(host, port)
+            try:
+                return await client.request({"op": "list_services"})
+            finally:
+                await client.close()
+                await tcp.stop()
+
+        assert _run(scenario())["ok"]

@@ -1,0 +1,50 @@
+"""Synthetic subscriber population (PR 8): seeded, skewed, Poisson."""
+
+from repro.study.population import (
+    DEFAULT_EVENT_MIX,
+    SubscriberPopulation,
+)
+
+
+class TestPopulation:
+    def test_deterministic_per_seed(self):
+        a = SubscriberPopulation(2_000, seed=7)
+        b = SubscriberPopulation(2_000, seed=7)
+        c = SubscriberPopulation(2_000, seed=8)
+        assert a.take_events(200) == b.take_events(200)
+        assert a._preference == b._preference
+        assert c._preference != a._preference
+
+    def test_preferences_follow_catalog_heavy_tail(self):
+        population = SubscriberPopulation(5_000)
+        counts = population.service_popularity()
+        assert sum(counts.values()) == 5_000
+        head = max(counts.values())
+        # The Fig. 2 skew: the head app dwarfs a uniform share.
+        assert head > 5 * (5_000 / len(population.service_names))
+
+    def test_event_stream_shape(self):
+        population = SubscriberPopulation(10_000)
+        events = population.take_events(3_000, rate=1_000.0)
+        assert len(events) == 3_000
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        kinds = [event.kind for event in events]
+        for kind, share in zip(("acquire", "renew", "revoke"),
+                               DEFAULT_EVENT_MIX):
+            observed = kinds.count(kind) / len(kinds)
+            assert abs(observed - share) < 0.05, (kind, observed)
+        for event in events:
+            assert 0 <= event.subscriber < population.size
+            assert event.service == population.service_of(event.subscriber)
+
+    def test_activity_is_zipf_skewed(self):
+        population = SubscriberPopulation(50_000)
+        events = population.take_events(2_000)
+        subscribers = [event.subscriber for event in events]
+        # The head of the Zipf curve dominates the schedule.
+        top_decile = population.size // 10
+        head_share = sum(
+            1 for s in subscribers if s < top_decile
+        ) / len(subscribers)
+        assert head_share > 0.5

@@ -9,7 +9,8 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("fig1", "fig2", "fig4", "fig5b", "fig6",
-                        "table1", "sec3", "sec46", "audit"):
+                        "table1", "sec3", "sec46", "audit",
+                        "controlplane"):
             args = parser.parse_args([command] + (
                 ["--trials", "1"] if command == "fig5b" else []
             ))
@@ -135,3 +136,39 @@ class TestStatsCommand:
         # Switch and middlebox verify independently but see the same mix.
         assert (snapshot.counters["matcher.accepted"]
                 == snapshot.counters["middlebox.matcher.accepted"])
+
+
+class TestControlPlaneCommands:
+    def test_controlplane_prints_report(self, capsys):
+        assert main(["controlplane", "--subscribers", "2000",
+                     "--shards", "1", "--churn-events", "600",
+                     "--open-loop-ops", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline CookieServer" in out
+        assert "1 shard(s)" in out
+        assert "WITHIN BOUND" in out
+
+    def test_controlplane_json(self, capsys):
+        import json
+
+        assert main(["controlplane", "--subscribers", "2000",
+                     "--shards", "1", "--churn-events", "600",
+                     "--open-loop-ops", "200", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["subscribers"] == 2000
+        assert report["revocation"]["within_bound"]
+        assert report["configs"][0]["closed_loop"]["ops_per_s"] > 0
+
+    def test_stats_server_merges_controlplane_telemetry(self, capsys):
+        import json
+
+        assert main(["stats", "--flows", "40", "--server", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["cp.acquired"] == 25
+        assert snapshot["counters"]["cp.revoked"] == 6
+        assert snapshot["counters"]["cp.shed_pending"] == 1
+        assert snapshot["gauges"]["cp.shards"] == 2
+        assert "cp.broadcast_lag_s" in snapshot["histograms"]
+        # Data-path telemetry still present alongside: one registry.
+        assert any(k.startswith("switch.") or k.startswith("matcher.")
+                   for k in snapshot["counters"])
