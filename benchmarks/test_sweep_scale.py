@@ -1,0 +1,116 @@
+"""Sweep executor scaling: speedup floors + bit-identical merges.
+
+Two floors, separated by what the host can actually prove:
+
+- **Ungated** (every machine): one warm worker must stay within 10% of
+  the in-process path on CPU-bound cells, i.e. the pool's IPC + pickle
+  overhead is bounded (>= 0.9x).  And the merged JSON must be
+  byte-identical across worker counts — the whole point of label-derived
+  per-cell seeds.
+- **Gated on >= 4 cores**: four workers must deliver >= 2x over
+  in-process.  On smaller hosts the parallel speedup is physically
+  unavailable, so the assertion is skipped (the determinism checks above
+  still run there).
+
+Results land in ``benchmarks/reports/sweep_scale.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import time
+
+import pytest
+
+from repro.core.sweep import SweepCell, run_sweep
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+CELLS = 16
+CELL_ITERATIONS = 1_200_000
+SINGLE_WORKER_FLOOR = 0.9
+FOUR_WORKER_FLOOR = 2.0
+
+
+def heavy_cell(params: dict, seed: int) -> dict:
+    """CPU-bound, seed-sensitive cell: a deterministic random walk long
+    enough (~0.1 s) that per-cell IPC overhead stays in the noise."""
+    rng = random.Random(seed)
+    acc = 0.0
+    for _ in range(CELL_ITERATIONS):
+        acc += rng.random() - 0.5
+    return {"walk": round(acc, 9), "x": params["x"], "seed": seed}
+
+
+def make_cells() -> list[SweepCell]:
+    return [
+        SweepCell(labels=("scale", i), params={"x": i})
+        for i in range(CELLS)
+    ]
+
+
+def timed_sweep(workers: int) -> tuple[str, float]:
+    start = time.perf_counter()
+    results, stats = run_sweep(
+        heavy_cell, make_cells(), campaign_seed=20160822, workers=workers
+    )
+    elapsed = time.perf_counter() - start
+    assert stats.cells_completed == CELLS
+    return json.dumps(results, sort_keys=True), elapsed
+
+
+def test_sweep_scaling_and_determinism(report):
+    cpus = os.cpu_count() or 1
+    merged_inproc, t_inproc = timed_sweep(0)
+    merged_one, t_one = timed_sweep(1)
+
+    single_worker_ratio = t_inproc / t_one
+    payload = {
+        "cpus": cpus,
+        "cells": CELLS,
+        "in_process_s": round(t_inproc, 4),
+        "one_worker_s": round(t_one, 4),
+        "single_worker_ratio": round(single_worker_ratio, 3),
+        "single_worker_floor": SINGLE_WORKER_FLOOR,
+        "merged_json_identical": None,
+        "four_workers_s": None,
+        "four_worker_speedup": None,
+        "four_worker_floor": FOUR_WORKER_FLOOR,
+        "four_worker_gate": "os.cpu_count() >= 4",
+    }
+
+    merged_identical = merged_inproc == merged_one
+    if cpus >= 4:
+        merged_four, t_four = timed_sweep(4)
+        merged_identical = merged_identical and merged_four == merged_inproc
+        payload["four_workers_s"] = round(t_four, 4)
+        payload["four_worker_speedup"] = round(t_inproc / t_four, 3)
+    payload["merged_json_identical"] = merged_identical
+
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / "sweep_scale.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    report(f"sweep scale on {cpus} cpus: in-process {t_inproc:.2f}s, "
+           f"1 worker {t_one:.2f}s (ratio {single_worker_ratio:.2f}x, "
+           f"floor {SINGLE_WORKER_FLOOR}x)")
+    if payload["four_worker_speedup"] is not None:
+        report(f"  4 workers: {payload['four_workers_s']}s — "
+               f"{payload['four_worker_speedup']}x "
+               f"(floor {FOUR_WORKER_FLOOR}x)")
+    else:
+        report(f"  4-worker floor skipped: only {cpus} cpus")
+
+    assert merged_identical, "merged JSON diverged across worker counts"
+    assert single_worker_ratio >= SINGLE_WORKER_FLOOR, payload
+    if cpus >= 4:
+        assert payload["four_worker_speedup"] >= FOUR_WORKER_FLOOR, payload
+    else:
+        pytest.skip(
+            f"4-worker speedup floor needs >= 4 cpus (host has {cpus}); "
+            "determinism and single-worker floors asserted above"
+        )

@@ -13,6 +13,7 @@ Usage::
     python -m repro sec46 [--scale S]   # campus trace replay
     python -m repro audit [--json]      # adversarial neutrality audit
     python -m repro controlplane        # sharded cookie server at scale
+    python -m repro linklab [--json]    # cable/LTE/satellite scenario lab
 
 Benchmarks (`pytest benchmarks/ --benchmark-only`) assert the shapes; this
 runner just prints them for a human.
@@ -115,6 +116,7 @@ def _cmd_stats(args) -> None:
     snapshot = run_stats_workload(
         flows=args.flows, packets_per_flow=6, pool_workers=args.pool_workers,
         include_audit=args.audit, include_server=args.server,
+        include_sweep=args.sweep,
     )
     if args.json:
         print(snapshot.to_json())
@@ -127,6 +129,8 @@ def _cmd_stats(args) -> None:
             detail += " + neutrality-audit campaign"
         if args.server:
             detail += " + sharded control plane"
+        if args.sweep:
+            detail += " + grid-sweep executor"
         print(f"telemetry snapshot — {args.flows} flows through "
               f"cookie switch + zero-rating middlebox{detail}")
         print(snapshot.format_text())
@@ -207,6 +211,43 @@ def _cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def _axis_values(token: str) -> list[float]:
+    """One grid-axis argument: a float, or a comma-separated run of them."""
+    return [float(part) for part in token.split(",") if part]
+
+
+def _flatten_axis(tokens: list[list[float]]) -> tuple[float, ...]:
+    return tuple(value for token in tokens for value in token)
+
+
+def _cmd_linklab(args) -> None:
+    """Link-condition lab: boost/zero-rating/NCT across link profiles."""
+    from repro.experiments import format_linklab_report, run_linklab
+
+    kwargs = {}
+    if args.rates:
+        kwargs["rates_mbps"] = _flatten_axis(args.rates)
+    if args.latencies:
+        kwargs["latencies_s"] = _flatten_axis(args.latencies)
+    if args.loss:
+        kwargs["loss_rates"] = _flatten_axis(args.loss)
+    report = run_linklab(seed=args.seed, workers=args.workers, **kwargs)
+    if args.json:
+        print(report.to_json(include_sweep=args.include_sweep))
+    else:
+        grid = (f"{len(report.rates_mbps)}x{len(report.latencies_s)}"
+                f"x{len(report.loss_rates)}")
+        stats = report.sweep_stats
+        how = ("in-process" if stats.in_process
+               else f"{stats.workers} workers")
+        print(f"link-condition lab — {grid} grid "
+              f"({len(report.cells)} cells), seed {report.campaign_seed}, "
+              f"swept {how}")
+        for key, value in report.summary().items():
+            print(f"  {key}: {value}")
+        print(format_linklab_report(report))
+
+
 def _cmd_controlplane(args) -> None:
     """Sharded control plane vs CookieServer at subscriber scale."""
     import json as json_module
@@ -251,6 +292,7 @@ def run_stats_workload(
     pool_workers: int | None = None,
     include_audit: bool = False,
     include_server: bool = False,
+    include_sweep: bool = False,
 ):
     """Drive a cookie switch and a zero-rating middlebox (each with its
     own matcher) through one registry and return the merged snapshot.
@@ -269,6 +311,11 @@ def run_stats_workload(
     (:func:`repro.experiments.run_audit`) and merges its verdict counts
     into the same snapshot under the ``audit.`` prefix — the same
     collector pattern as every data-plane element.
+
+    ``include_sweep`` additionally runs a small in-process grid sweep
+    through :class:`~repro.core.sweep.SweepExecutor` with its collector
+    registered, so the snapshot includes ``sweep.*`` counters (cells
+    dispatched/completed, re-dispatches, worker restarts).
 
     ``include_server`` additionally drives a 2-shard
     :class:`~repro.core.cp.ShardedControlPlane` (acquire/renew/revoke
@@ -369,6 +416,22 @@ def run_stats_workload(
         controlplane.inflight = 0
         controlplane.register_telemetry(registry, prefix="cp")
 
+    if include_sweep:
+        from repro.core.sweep import SweepCell, SweepExecutor
+
+        def sweep_cell(params, seed):
+            # A stand-in cell: enough work to produce honest counters.
+            return sum(range(params["n"])) ^ seed
+
+        # In-process mode (workers=0): the cell function never crosses a
+        # process boundary, so the CLI needs no picklable module-level fn.
+        with SweepExecutor(sweep_cell, workers=0, campaign_seed=7) as sweep:
+            sweep.register_telemetry(registry, prefix="sweep")
+            sweep.run(
+                [SweepCell(labels=("stats", i), params={"n": 1000})
+                 for i in range(8)]
+            )
+
     if pool_workers:
         from repro.core.parallel import ProcessShardExecutor
 
@@ -403,6 +466,7 @@ COMMANDS = {
     "controlplane": _cmd_controlplane,
     "chaos": _cmd_chaos,
     "audit": _cmd_audit,
+    "linklab": _cmd_linklab,
 }
 
 
@@ -444,6 +508,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also drive a sharded control plane and merge "
                             "its telemetry (per-shard ops, log lengths, "
                             "broadcast-lag histogram, shed counts)")
+    stats.add_argument("--sweep", action="store_true",
+                       help="also run a small grid sweep and merge the "
+                            "executor's sweep.* counters")
     scaleout = sub.add_parser(
         "scaleout",
         help="multi-core verification: in-process vs worker processes",
@@ -493,6 +560,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: all six)")
     audit.add_argument("--json", action="store_true",
                        help="print the full verdict report as JSON")
+    linklab = sub.add_parser(
+        "linklab",
+        help="link-condition scenario lab: boost FCT gain, zero-rating "
+             "accounting, and NCT renewal across a rate x latency x loss "
+             "grid (cable / LTE / satellite)",
+    )
+    linklab.add_argument("--seed", type=int, default=20160822,
+                         help="campaign seed; the report replays "
+                              "bit-identically at any worker count")
+    linklab.add_argument("--workers", type=int, default=None,
+                         help="sweep worker processes (default: sized to "
+                              "the box; 0 forces in-process)")
+    linklab.add_argument("--rates", type=_axis_values, nargs="*",
+                         help="downlink rates in Mb/s, space- or "
+                              "comma-separated (default: 2 6 12 20)")
+    linklab.add_argument("--latencies", type=_axis_values, nargs="*",
+                         help="one-way latencies in seconds "
+                              "(default: 0.005 0.035 0.12 0.28)")
+    linklab.add_argument("--loss", type=_axis_values, nargs="*",
+                         help="loss rates (default: 0 0.005 0.02)")
+    linklab.add_argument("--json", action="store_true",
+                         help="print the heatmap report as JSON")
+    linklab.add_argument("--include-sweep", action="store_true",
+                         help="with --json, include sweep execution "
+                              "stats (non-deterministic across configs)")
     return parser
 
 

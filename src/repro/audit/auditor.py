@@ -54,6 +54,7 @@ from ..core.errors import (
 )
 from ..core.generator import CookieGenerator
 from ..core.matcher import CookieMatcher, NETWORK_COHERENCY_TIME
+from ..core.seeding import derive_seed
 from ..core.server import CookieServer, ServiceOffering
 from ..core.store import DescriptorStore
 from ..core.transport import default_registry
@@ -529,7 +530,7 @@ class NeutralityAuditor:
         persona = persona or HonestOperator()
         config = self.config
         service = "zero-rate"
-        rng = random.Random(config.seed ^ 0x5A)
+        rng = random.Random(derive_seed(config.seed, "audit", "zerorate"))
         loop = EventLoop()
         clock = lambda: _EPOCH + loop.now  # noqa: E731
 
@@ -826,7 +827,7 @@ class NeutralityAuditor:
         persona = persona or HonestOperator()
         config = self.config
         service = "boost"
-        rng = random.Random(config.seed ^ 0xB0)
+        rng = random.Random(derive_seed(config.seed, "audit", "boost"))
         loop = EventLoop()
         # The daemon's embedded CookieSwitch verifies at loop.now, so the
         # auditor mints cookies on the same time base.
@@ -1034,7 +1035,7 @@ class NeutralityAuditor:
         persona = persona or HonestOperator()
         config = self.config
         service = f"anylink-{profile}"
-        rng = random.Random(config.seed ^ 0xA1)
+        rng = random.Random(derive_seed(config.seed, "audit", "anylink", profile))
         loop = EventLoop()
         # AnyLinkProxy verifies at loop.now; mint on the same time base.
         clock = lambda: loop.now  # noqa: E731

@@ -103,7 +103,15 @@ from .policy import (
     QuotaPolicy,
     ServiceWhitelistPolicy,
 )
+from .seeding import derive_seed
 from .server import CookieServer, ServiceOffering
+from .sweep import (
+    SweepCell,
+    SweepError,
+    SweepExecutor,
+    SweepStats,
+    run_sweep,
+)
 from .store import DescriptorStore, SQLiteDescriptorStore
 from .switch import (
     FAST_LANE_CLASS,
@@ -191,8 +199,14 @@ __all__ = [
     "PrepaidPolicy",
     "QuotaPolicy",
     "ServiceWhitelistPolicy",
+    "derive_seed",
     "CookieServer",
     "ServiceOffering",
+    "SweepCell",
+    "SweepError",
+    "SweepExecutor",
+    "SweepStats",
+    "run_sweep",
     "DescriptorStore",
     "SQLiteDescriptorStore",
     "FAST_LANE_CLASS",

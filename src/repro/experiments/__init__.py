@@ -19,6 +19,9 @@ ZeroRatingSurvey); Table 1 lives in :mod:`repro.baselines.comparison`.
 :mod:`.chaos` reproduces no figure — it is the fault-injection soak
 backing the failure model (PROTOCOL.md §11).  :mod:`.audit` likewise —
 it is the adversarial neutrality-audit campaign (PROTOCOL.md §13).
+:mod:`.linklab` extends the paper's single 6 Mb/s scenario to a
+rate × latency × loss grid over cable/LTE/satellite profiles, executed
+by the deterministic parallel sweep (PROTOCOL.md §15).
 """
 
 from .audit import (
@@ -48,6 +51,15 @@ from .fig4_throughput import (
     run_sweep,
 )
 from .fig5b_fct import SERVICE_CLASSES, FctResult, run_fig5b, run_trial
+from .linklab import (
+    DEFAULT_LATENCIES_S,
+    DEFAULT_LOSS_RATES,
+    DEFAULT_RATES_MBPS,
+    LinklabReport,
+    format_linklab_report,
+    link_profile,
+    run_linklab,
+)
 from .fig6_accuracy import (
     DPI_APP_OF_SITE,
     TARGET_SITES,
@@ -90,6 +102,13 @@ __all__ = [
     "FctResult",
     "run_fig5b",
     "run_trial",
+    "DEFAULT_LATENCIES_S",
+    "DEFAULT_LOSS_RATES",
+    "DEFAULT_RATES_MBPS",
+    "LinklabReport",
+    "format_linklab_report",
+    "link_profile",
+    "run_linklab",
     "DPI_APP_OF_SITE",
     "TARGET_SITES",
     "AccuracyResult",

@@ -44,6 +44,8 @@ import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Any
 
+from ..core.seeding import derive_seed
+
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
@@ -169,7 +171,10 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
     from ..telemetry import MetricsRegistry
 
     config = config or ChaosConfig()
-    rng = random.Random(config.seed)
+    # All per-component randomness derives from the one campaign seed via
+    # the shared stable hash, so streams never shadow one another and the
+    # whole soak replays bit-identically from ``config.seed``.
+    rng = random.Random(derive_seed(config.seed, "chaos", "homes"))
     loop = EventLoop()
 
     # Wall-clock epoch: the loop starts at t=0, but cookie timestamps
@@ -212,7 +217,7 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
                 max_attempts=3,
                 base_delay=0.05,
                 max_delay=0.2,
-                seed=config.seed + home,
+                seed=derive_seed(config.seed, "chaos", "retry", home),
             ),
             breaker=CircuitBreaker(
                 failure_threshold=4, reset_timeout=5.0, clock=clock
@@ -245,7 +250,7 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
             corrupt_rate=config.corrupt_rate,
             delay_rate=config.delay_rate,
             delay_jitter_s=config.delay_jitter_s,
-            seed=config.seed,
+            seed=derive_seed(config.seed, "chaos", "faults"),
         ),
         loop=loop,
         on_corrupt=lambda packet: corrupted_flows.add(flow_key_of(packet)),

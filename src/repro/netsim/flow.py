@@ -69,13 +69,14 @@ def flow_key_of(packet: Packet) -> FiveTuple:
     return FiveTuple.of_packet(packet).canonical()
 
 
-@dataclass
+@dataclass(slots=True)
 class Flow:
     """Per-flow state tracked by a :class:`FlowTable`.
 
     ``service`` holds whatever binding a middlebox installed for this flow
     (e.g. a matched cookie descriptor, or a QoS class); ``packets`` and
-    ``bytes`` count both directions.
+    ``bytes`` count both directions.  Slots-backed: a loaded middlebox
+    tracks tens of thousands of these.
     """
 
     key: FiveTuple

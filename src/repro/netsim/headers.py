@@ -13,6 +13,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 from enum import IntEnum
+from functools import lru_cache
 
 __all__ = [
     "EtherType",
@@ -52,7 +53,7 @@ class IPProto(IntEnum):
     IPV6_DEST_OPTS = 60
 
 
-@dataclass
+@dataclass(slots=True)
 class EthernetHeader:
     """Ethernet II header (14 bytes on the wire)."""
 
@@ -67,11 +68,7 @@ class EthernetHeader:
         return self.WIRE_LENGTH
 
     def pack(self) -> bytes:
-        return (
-            _mac_to_bytes(self.dst_mac)
-            + _mac_to_bytes(self.src_mac)
-            + struct.pack("!H", self.ethertype)
-        )
+        return _packed_ethernet(self.dst_mac, self.src_mac, self.ethertype)
 
     @classmethod
     def unpack(cls, data: bytes) -> "EthernetHeader":
@@ -83,7 +80,7 @@ class EthernetHeader:
         return cls(src_mac=src, dst_mac=dst, ethertype=ethertype)
 
 
-@dataclass
+@dataclass(slots=True)
 class IPv4Header:
     """IPv4 header without options (20 bytes).
 
@@ -119,19 +116,14 @@ class IPv4Header:
         return (self.dscp << 2) | self.ecn
 
     def pack(self) -> bytes:
-        version_ihl = (4 << 4) | 5
-        return struct.pack(
-            "!BBHHHBBH4s4s",
-            version_ihl,
+        return _packed_ipv4(
+            self.src,
+            self.dst,
+            self.proto,
+            self.ttl,
             self.tos,
             self.total_length,
             self.ident,
-            0,  # flags + fragment offset
-            self.ttl,
-            self.proto,
-            0,  # checksum (not modelled)
-            _ipv4_to_bytes(self.src),
-            _ipv4_to_bytes(self.dst),
         )
 
     @classmethod
@@ -164,7 +156,7 @@ class IPv4Header:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class IPv6ExtensionHeader:
     """A generic IPv6 extension header carrying opaque option data.
 
@@ -213,7 +205,7 @@ class IPv6ExtensionHeader:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class IPv6Header:
     """IPv6 header (40 bytes) with an optional extension-header chain."""
 
@@ -243,7 +235,7 @@ class IPv6Header:
         return self.BASE_WIRE_LENGTH + sum(e.wire_length for e in self.extensions)
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPOption:
     """A single TCP option as (kind, data).
 
@@ -261,15 +253,10 @@ class TCPOption:
         return 2 + len(self.data)
 
     def pack(self) -> bytes:
-        if self.kind in (0, 1):
-            return bytes([self.kind])
-        length = 2 + len(self.data)
-        if length > 255:
-            raise HeaderError("TCP option too long")
-        return bytes([self.kind, length]) + self.data
+        return _packed_tcp_option(self.kind, self.data)
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPHeader:
     """TCP header (20 bytes + options, padded to 4-byte words)."""
 
@@ -291,7 +278,10 @@ class TCPHeader:
 
     @property
     def wire_length(self) -> int:
-        opts = sum(o.wire_length for o in self.options)
+        options = self.options
+        if not options:
+            return self.BASE_WIRE_LENGTH
+        opts = sum(o.wire_length for o in options)
         return self.BASE_WIRE_LENGTH + ((opts + 3) // 4) * 4
 
     @property
@@ -314,7 +304,7 @@ class TCPHeader:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class UDPHeader:
     """UDP header (8 bytes)."""
 
@@ -329,7 +319,7 @@ class UDPHeader:
         return self.WIRE_LENGTH
 
     def pack(self) -> bytes:
-        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+        return _packed_udp(self.src_port, self.dst_port, self.length)
 
     @classmethod
     def unpack(cls, data: bytes) -> "UDPHeader":
@@ -337,6 +327,67 @@ class UDPHeader:
             raise HeaderError("truncated UDP header")
         src, dst, length, _csum = struct.unpack("!HHHH", data[:8])
         return cls(src_port=src, dst_port=dst, length=length)
+
+
+# ----------------------------------------------------------------------
+# Memoized serialization
+#
+# Headers are tiny value objects that repeat heavily inside one workload
+# (the same src/dst pair serialized for every segment of a flow).  The
+# packed wire image is a pure function of the field values, so an LRU
+# over those values turns repeat serialization into a dict hit.  The
+# caches are bounded; a miss simply pays the original struct.pack cost.
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=1024)
+def _packed_ethernet(dst_mac: str, src_mac: str, ethertype: int) -> bytes:
+    return (
+        _mac_to_bytes(dst_mac)
+        + _mac_to_bytes(src_mac)
+        + struct.pack("!H", ethertype)
+    )
+
+
+@lru_cache(maxsize=8192)
+def _packed_ipv4(
+    src: str,
+    dst: str,
+    proto: int,
+    ttl: int,
+    tos: int,
+    total_length: int,
+    ident: int,
+) -> bytes:
+    version_ihl = (4 << 4) | 5
+    return struct.pack(
+        "!BBHHHBBH4s4s",
+        version_ihl,
+        tos,
+        total_length,
+        ident,
+        0,  # flags + fragment offset
+        ttl,
+        proto,
+        0,  # checksum (not modelled)
+        _ipv4_to_bytes(src),
+        _ipv4_to_bytes(dst),
+    )
+
+
+@lru_cache(maxsize=4096)
+def _packed_tcp_option(kind: int, data: bytes) -> bytes:
+    if kind in (0, 1):
+        return bytes([kind])
+    length = 2 + len(data)
+    if length > 255:
+        raise HeaderError("TCP option too long")
+    return bytes([kind, length]) + data
+
+
+@lru_cache(maxsize=4096)
+def _packed_udp(src_port: int, dst_port: int, length: int) -> bytes:
+    return struct.pack("!HHHH", src_port, dst_port, length, 0)
 
 
 def _mac_to_bytes(mac: str) -> bytes:

@@ -9,6 +9,7 @@ jumps the queue departs earlier.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Protocol
 
 from .events import EventLoop
@@ -66,6 +67,11 @@ class Link(Element):
         self._busy = False
         self.transmitted_packets = 0
         self.transmitted_bytes = 0
+        # Closure-free hot path: the serializing packet and the
+        # propagation FIFO are instance state, so every scheduled event
+        # is a reusable bound method instead of a per-packet lambda.
+        self._in_flight: Packet | None = None
+        self._propagating: deque[Packet] = deque()
 
     def set_rate(self, rate_bps: float) -> None:
         """Retarget the link rate (takes effect at the next transmission)."""
@@ -84,8 +90,15 @@ class Link(Element):
             self._busy = False
             return
         self._busy = True
+        self._in_flight = packet
         serialization = packet.wire_length * 8.0 / self.rate_bps
-        self.loop.schedule(serialization, lambda p=packet: self._finish(p))
+        self.loop.schedule(serialization, self._finish_in_flight)
+
+    def _finish_in_flight(self) -> None:
+        packet = self._in_flight
+        assert packet is not None
+        self._in_flight = None
+        self._finish(packet)
 
     def _finish(self, packet: Packet) -> None:
         self.transmitted_packets += 1
@@ -94,10 +107,17 @@ class Link(Element):
         if self.on_transmit is not None:
             self.on_transmit(packet)
         if self.delay > 0:
-            self.loop.schedule(self.delay, lambda p=packet: self.emit(p))
+            # Propagation delay is constant, so deliveries are FIFO: one
+            # shared deque + one bound-method event per packet replaces a
+            # closure per packet.
+            self._propagating.append(packet)
+            self.loop.schedule(self.delay, self._deliver_propagated)
         else:
             self.emit(packet)
         self._start_transmission()
+
+    def _deliver_propagated(self) -> None:
+        self.emit(self._propagating.popleft())
 
     @property
     def utilization_bytes(self) -> int:

@@ -10,6 +10,7 @@ middleboxes can inspect what a real middlebox could see on the wire, and
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Any
@@ -28,7 +29,7 @@ __all__ = ["Payload", "Packet", "make_tcp_packet", "make_udp_packet"]
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Payload:
     """Application payload with a nominal size and optional content.
 
@@ -48,7 +49,7 @@ class Payload:
             raise ValueError("payload size cannot be negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated packet: header stack + payload + bookkeeping metadata.
 
@@ -56,6 +57,11 @@ class Packet:
     which page-load produced the packet). Middleboxes under test must never
     read ``meta`` to make decisions — it exists so benchmarks can score
     accuracy against ground truth.
+
+    The class is ``__slots__``-backed: packets are the highest-volume
+    allocation in any simulation, and slots shave both per-instance memory
+    and attribute-access time on the forwarding hot path.  Simulation-only
+    annotations belong in ``meta``, never as ad-hoc attributes.
     """
 
     eth: EthernetHeader | None = None
@@ -122,8 +128,6 @@ class Packet:
         traffic; header objects are copied so mutation of the clone does not
         affect the original.
         """
-        import copy
-
         new = copy.deepcopy(self)
         new.packet_id = next(_packet_ids)
         return new

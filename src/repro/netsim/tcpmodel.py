@@ -16,6 +16,7 @@ bottleneck.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -51,7 +52,7 @@ class TransferEndpoint(Element):
             self.untracked_bytes += packet.wire_length
 
 
-@dataclass
+@dataclass(slots=True)
 class _SenderState:
     next_seg: int = 0
     highest_acked: int = 0
@@ -119,6 +120,7 @@ class TcpTransfer:
         self.state = _SenderState()
         self._received: set[int] = set()
         self._send_times: dict[int, float] = {}
+        self._pending_acks: deque[int] = deque()
         self.start_time: float | None = None
         self.finish_time: float | None = None
         self.retransmissions = 0
@@ -194,7 +196,14 @@ class TcpTransfer:
         cumulative = self.state.highest_acked
         while cumulative in self._received:
             cumulative += 1
-        self.loop.schedule(self.ack_delay, lambda a=cumulative: self._on_ack(a))
+        # The uplink latency is constant, so ACKs arrive in the order
+        # they were sent: a FIFO plus one bound-method event per ACK
+        # avoids allocating a closure for every received segment.
+        self._pending_acks.append(cumulative)
+        self.loop.schedule(self.ack_delay, self._deliver_ack)
+
+    def _deliver_ack(self) -> None:
+        self._on_ack(self._pending_acks.popleft())
 
     # ------------------------------------------------------------------
     # ACK processing
@@ -301,6 +310,8 @@ class CbrSource:
         self.qos_class_name = qos_class_name
         self.packets_sent = 0
         self._running = False
+        self._stop_at: float | None = None
+        self._timer = None
 
     @property
     def interval(self) -> float:
@@ -308,18 +319,27 @@ class CbrSource:
 
     def start(self, duration: float | None = None) -> None:
         """Emit packets every ``interval`` seconds until ``duration`` elapses."""
+        if self._timer is not None:
+            self._timer.stop()
         self._running = True
-        stop_at = None if duration is None else self.loop.now + duration
-        self._tick(stop_at)
+        self._stop_at = None if duration is None else self.loop.now + duration
+        self._tick()
+        if self._running:
+            # One recycled periodic event drives the whole emission
+            # schedule — no closure or event allocation per packet.
+            self._timer = self.loop.schedule_periodic(self.interval, self._tick)
 
     def stop(self) -> None:
         self._running = False
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
 
-    def _tick(self, stop_at: float | None) -> None:
+    def _tick(self) -> None:
         if not self._running:
             return
-        if stop_at is not None and self.loop.now >= stop_at:
-            self._running = False
+        if self._stop_at is not None and self.loop.now >= self._stop_at:
+            self.stop()
             return
         from .packet import make_udp_packet
 
@@ -337,7 +357,6 @@ class CbrSource:
             packet.meta["qos_class_name"] = self.qos_class_name
         self.path.push(packet)
         self.packets_sent += 1
-        self.loop.schedule(self.interval, lambda: self._tick(stop_at))
 
 
 class OnOffSource:

@@ -1,0 +1,152 @@
+"""The link-condition scenario lab: cell semantics + campaign determinism.
+
+The full default grid is CI-budget territory (``python -m repro
+linklab``); here a 2x2x2 corner of it proves the contracts: payload
+bit-identity across worker counts, heatmap completeness, and the
+physics-facing claims (boost helps, staleness fails the NCT, loss taxes
+accounting).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.linklab import (
+    DEFAULT_LATENCIES_S,
+    DEFAULT_LOSS_RATES,
+    DEFAULT_RATES_MBPS,
+    link_profile,
+    run_cell,
+    run_linklab,
+)
+from repro.telemetry import MetricsRegistry
+
+SMALL_GRID = dict(
+    rates_mbps=(2.0, 6.0),
+    latencies_s=(0.005, 0.28),
+    loss_rates=(0.0, 0.02),
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_linklab(seed=42, workers=0, **SMALL_GRID)
+
+
+def test_profiles_partition_the_latency_axis():
+    assert link_profile(0.005) == "cable"
+    assert link_profile(0.035) == "lte"
+    assert link_profile(0.12) == "satellite"
+    assert link_profile(0.28) == "satellite"
+    assert [link_profile(lat) for lat in DEFAULT_LATENCIES_S] == [
+        "cable", "lte", "satellite", "satellite",
+    ]
+
+
+def test_default_grid_shape():
+    assert len(DEFAULT_RATES_MBPS) == 4
+    assert len(DEFAULT_LATENCIES_S) == 4
+    assert len(DEFAULT_LOSS_RATES) == 3
+
+
+def test_cell_covers_all_four_scenarios():
+    cell = run_cell(
+        {"rate_mbps": 6.0, "latency_s": 0.005, "loss": 0.0}, seed=7
+    )
+    assert cell["profile"] == "cable"
+    assert set(cell) >= {"fct", "accounting", "renewal", "fairness"}
+    # Clean fast link: boost must clearly beat the contended baseline.
+    assert cell["fct"]["gain"] > 1.2
+    # No loss anywhere: accounting is exact and every flow rides free.
+    assert cell["accounting"]["accuracy"] == 1.0
+    assert (
+        cell["accounting"]["free_flows"] == cell["accounting"]["flows"]
+    )
+    # Renewal always wins; the stale-retransmit policy loses the flows
+    # whose backoff ladder crosses the NCT window.
+    assert cell["renewal"]["renew"]["success_rate"] == 1.0
+    assert (
+        cell["renewal"]["retransmit"]["success_rate"]
+        < cell["renewal"]["renew"]["success_rate"]
+    )
+    # The boosted transfer out-runs the best-effort one while throttled;
+    # ratio None means the strict-priority fast lane starved best-effort
+    # outright (ratio = infinity), the paper's §6 unfairness made vivid.
+    ratio = cell["fairness"]["throughput_ratio"]
+    assert ratio is None or ratio > 1.0
+    assert 0.5 <= cell["fairness"]["jain_index"] <= 1.0
+
+
+def test_loss_taxes_accounting_accuracy():
+    clean = run_cell(
+        {"rate_mbps": 6.0, "latency_s": 0.035, "loss": 0.0}, seed=3
+    )
+    lossy = run_cell(
+        {"rate_mbps": 6.0, "latency_s": 0.035, "loss": 0.02}, seed=3
+    )
+    assert clean["accounting"]["accuracy"] == 1.0
+    assert lossy["accounting"]["accuracy"] < 1.0
+
+
+def test_satellite_latency_shrinks_nct_margin():
+    near = run_cell(
+        {"rate_mbps": 6.0, "latency_s": 0.005, "loss": 0.0}, seed=5
+    )
+    far = run_cell(
+        {"rate_mbps": 6.0, "latency_s": 0.28, "loss": 0.0}, seed=5
+    )
+    assert (
+        far["renewal"]["retransmit"]["min_nct_margin_s"]
+        < near["renewal"]["retransmit"]["min_nct_margin_s"]
+    )
+
+
+def test_report_covers_full_grid(small_report):
+    assert len(small_report.cells) == 8
+    seen = {
+        (c["rate_mbps"], c["latency_ms"], c["loss"])
+        for c in small_report.cells
+    }
+    assert len(seen) == 8
+    for heatmap in small_report.heatmaps().values():
+        assert len(heatmap) == 8
+    summary = small_report.summary()
+    assert summary["cells"] == 8
+    assert summary["mean_renewal_success"] >= summary[
+        "mean_retransmit_success"
+    ]
+
+
+def test_payload_bit_identical_across_worker_counts(small_report):
+    pooled = run_linklab(seed=42, workers=2, **SMALL_GRID)
+    assert small_report.sweep_stats.in_process
+    assert pooled.sweep_stats.workers == 2
+    assert small_report.to_json() == pooled.to_json()
+    # The sweep stats legitimately differ — and stay out of the payload.
+    assert (
+        small_report.sweep_stats.as_dict()
+        != pooled.sweep_stats.as_dict()
+    )
+
+
+def test_json_shape_and_sweep_opt_in(small_report):
+    body = json.loads(small_report.to_json())
+    assert set(body) == {"campaign_seed", "grid", "cells", "heatmaps"}
+    with_stats = json.loads(small_report.to_json(include_sweep=True))
+    assert with_stats["sweep"]["cells_completed"] == 8
+
+
+def test_linklab_telemetry_lands_under_sweep_prefix():
+    registry = MetricsRegistry()
+    run_linklab(
+        seed=1,
+        workers=0,
+        rates_mbps=(6.0,),
+        latencies_s=(0.005,),
+        loss_rates=(0.0,),
+        telemetry=registry,
+    )
+    counters = registry.snapshot().counters
+    assert counters["sweep.cells_completed"] == 1.0
