@@ -14,6 +14,7 @@ Usage::
     python -m repro audit [--json]      # adversarial neutrality audit
     python -m repro controlplane        # sharded cookie server at scale
     python -m repro linklab [--json]    # cable/LTE/satellite scenario lab
+    python -m repro billing [--json]    # multi-operator billing + crash drill
 
 Benchmarks (`pytest benchmarks/ --benchmark-only`) assert the shapes; this
 runner just prints them for a human.
@@ -116,7 +117,7 @@ def _cmd_stats(args) -> None:
     snapshot = run_stats_workload(
         flows=args.flows, packets_per_flow=6, pool_workers=args.pool_workers,
         include_audit=args.audit, include_server=args.server,
-        include_sweep=args.sweep,
+        include_sweep=args.sweep, include_billing=args.billing,
     )
     if args.json:
         print(snapshot.to_json())
@@ -131,6 +132,8 @@ def _cmd_stats(args) -> None:
             detail += " + sharded control plane"
         if args.sweep:
             detail += " + grid-sweep executor"
+        if args.billing:
+            detail += " + journal-backed billing"
         print(f"telemetry snapshot — {args.flows} flows through "
               f"cookie switch + zero-rating middlebox{detail}")
         print(snapshot.format_text())
@@ -208,6 +211,43 @@ def _cmd_chaos(args) -> None:
               f"short verdict arrays {kill['short_verdict_arrays']}")
 
     if not report.ok:
+        raise SystemExit(1)
+
+
+def _cmd_billing(args) -> None:
+    """Multi-operator zero-rating billing: journal, reconcile, crash drill."""
+    from repro.experiments import BillingConfig, run_billing, run_crash_drill
+
+    config = BillingConfig(seed=args.seed)
+    report = run_billing(config)
+    drill = None if args.skip_drill else run_crash_drill(seed=args.seed)
+    if args.json:
+        print(report.to_json())
+        if drill is not None:
+            print(drill.to_json())
+    else:
+        print(f"billing soak — seed {config.seed}, "
+              f"{config.subscribers} subscribers across "
+              f"{len(report.operators)} operator catalogs")
+        for key, value in report.summary().items():
+            print(f"  {key}: {value}")
+        print()
+        print(report.table())
+        for violation in report.violations:
+            print(f"  VIOLATION: {violation}")
+        if drill is not None:
+            print(f"\ncrash drill — SIGKILL mid-append at "
+                  f"{len(drill.points)} injection points "
+                  f"(digest {drill.digest[:16]}…)")
+            for point in drill.points:
+                print(f"  {point['point']:<20} "
+                      f"acked {point['records_acked']:>2}  "
+                      f"recovered {point['recovered_offset']:>2}  "
+                      f"torn-tail {point['torn_tail_truncated']}  "
+                      f"reconciled {point['records_reconciled']}")
+            for violation in drill.violations:
+                print(f"  VIOLATION: {violation}")
+    if not report.ok or (drill is not None and not drill.ok):
         raise SystemExit(1)
 
 
@@ -293,6 +333,7 @@ def run_stats_workload(
     include_audit: bool = False,
     include_server: bool = False,
     include_sweep: bool = False,
+    include_billing: bool = False,
 ):
     """Drive a cookie switch and a zero-rating middlebox (each with its
     own matcher) through one registry and return the merged snapshot.
@@ -316,6 +357,12 @@ def run_stats_workload(
     through :class:`~repro.core.sweep.SweepExecutor` with its collector
     registered, so the snapshot includes ``sweep.*`` counters (cells
     dispatched/completed, re-dispatches, worker restarts).
+
+    ``include_billing`` additionally backs the middlebox with a
+    journal-backed :class:`~repro.services.billing.BillingAccountant`
+    over a one-operator catalog, so the snapshot includes ``billing.*``
+    and ``billing.journal.*`` counters (bytes accounted free/charged,
+    flushes, appends, fsyncs, recovery stats).
 
     ``include_server`` additionally drives a 2-shard
     :class:`~repro.core.cp.ShardedControlPlane` (acquire/renew/revoke
@@ -348,10 +395,39 @@ def run_stats_workload(
         CookieMatcher(store, telemetry=registry), clock=clock,
         telemetry=registry,
     )
+    accountant = None
+    billing_dir = None
+    if include_billing:
+        import tempfile
+
+        from repro.services.billing import BillingAccountant, BillingJournal
+        from repro.services.zerorate import (
+            AppCoverage,
+            CatalogSet,
+            OperatorCatalog,
+        )
+
+        billing_dir = tempfile.mkdtemp(prefix="repro-stats-billing-")
+        catalogs = CatalogSet(
+            [OperatorCatalog(
+                operator="op-stats",
+                apps=(AppCoverage(
+                    app="zero-rate",
+                    origin_ips=frozenset({"93.184.216.34"}),
+                ),),
+            )],
+            default_operator="op-stats",
+        )
+        accountant = BillingAccountant(
+            catalogs,
+            BillingJournal(billing_dir, source="stats", fsync="never"),
+        )
+        accountant.register_telemetry(registry)
     middlebox = ZeroRatingMiddlebox(
         CookieMatcher(store, telemetry=registry,
                       telemetry_prefix="middlebox.matcher"),
         clock=clock,
+        billing=accountant,
         telemetry=registry,
     )
     switch >> middlebox >> Sink()
@@ -432,6 +508,12 @@ def run_stats_workload(
                  for i in range(8)]
             )
 
+    if accountant is not None:
+        # Journal every pending delta so the snapshot's billing.* and
+        # billing.journal.* counters reflect the whole workload.
+        accountant.flush_all(now=clock_now)
+
+    snapshot = None
     if pool_workers:
         from repro.core.parallel import ProcessShardExecutor
 
@@ -448,8 +530,15 @@ def run_stats_workload(
             pool.register_transport_telemetry(registry, prefix="pool.shm")
             # Snapshot while workers are alive: the pool collector polls
             # each worker process on demand.
-            return registry.snapshot()
-    return registry.snapshot()
+            snapshot = registry.snapshot()
+    if snapshot is None:
+        snapshot = registry.snapshot()
+    if billing_dir is not None:
+        import shutil
+
+        accountant.journal.close()
+        shutil.rmtree(billing_dir, ignore_errors=True)
+    return snapshot
 
 
 COMMANDS = {
@@ -467,6 +556,7 @@ COMMANDS = {
     "chaos": _cmd_chaos,
     "audit": _cmd_audit,
     "linklab": _cmd_linklab,
+    "billing": _cmd_billing,
 }
 
 
@@ -511,6 +601,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--sweep", action="store_true",
                        help="also run a small grid sweep and merge the "
                             "executor's sweep.* counters")
+    stats.add_argument("--billing", action="store_true",
+                       help="back the middlebox with a journal-backed "
+                            "billing accountant and merge its billing.* "
+                            "and billing.journal.* counters")
     scaleout = sub.add_parser(
         "scaleout",
         help="multi-core verification: in-process vs worker processes",
@@ -585,6 +679,18 @@ def build_parser() -> argparse.ArgumentParser:
     linklab.add_argument("--include-sweep", action="store_true",
                          help="with --json, include sweep execution "
                               "stats (non-deterministic across configs)")
+    billing = sub.add_parser(
+        "billing",
+        help="multi-operator zero-rating billing soak: crash-safe "
+             "journal, exactly-once reconciliation, SIGKILL crash drill",
+    )
+    billing.add_argument("--seed", type=int, default=20160822,
+                         help="billing seed; invoices and the drill "
+                              "digest replay bit-identically")
+    billing.add_argument("--json", action="store_true",
+                         help="print the full report(s) as JSON")
+    billing.add_argument("--skip-drill", action="store_true",
+                         help="soak only; skip the SIGKILL crash drill")
     return parser
 
 

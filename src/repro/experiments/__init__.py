@@ -22,12 +22,22 @@ it is the adversarial neutrality-audit campaign (PROTOCOL.md §13).
 :mod:`.linklab` extends the paper's single 6 Mb/s scenario to a
 rate × latency × loss grid over cable/LTE/satellite profiles, executed
 by the deterministic parallel sweep (PROTOCOL.md §15).
+:mod:`.billing` is the multi-operator billing soak and SIGKILL crash
+drill backing the crash-safe journal + exactly-once reconciliation
+contract (PROTOCOL.md §16).
 """
 
 from .audit import (
     AuditCampaignConfig,
     AuditCampaignReport,
     run_audit,
+)
+from .billing import (
+    BillingConfig,
+    BillingReport,
+    CrashDrillReport,
+    run_billing,
+    run_crash_drill,
 )
 from .chaos import (
     ChaosConfig,
@@ -83,6 +93,11 @@ __all__ = [
     "AuditCampaignConfig",
     "AuditCampaignReport",
     "run_audit",
+    "BillingConfig",
+    "BillingReport",
+    "CrashDrillReport",
+    "run_billing",
+    "run_crash_drill",
     "ChaosConfig",
     "ChaosReport",
     "run_chaos",

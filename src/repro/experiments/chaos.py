@@ -18,6 +18,11 @@ three invariants that make the claims hold:
    faults may drop or duplicate packets but never unaccount them.
 3. **No crashes**: the run completes with zero unhandled exceptions;
    every fault surfaces as a counter, never a traceback.
+4. **Billing**: the soak runs the full multi-operator billing pipeline
+   (three catalogs — unlimited, capped, roaming-suspended — a
+   journal-backed accountant, and exactly-once reconciliation): per
+   operator, the sum of invoiced free+charged bytes per IP equals the
+   bytes the sink delivered, across every fault the storm injected.
 
 Everything is a pure function of ``ChaosConfig.seed``, so a failing run
 reproduces bit-identically from its seed (the CI job pins one).
@@ -39,7 +44,9 @@ from __future__ import annotations
 import json
 import os
 import random
+import shutil
 import signal
+import tempfile
 import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Any
@@ -110,6 +117,9 @@ class ChaosReport:
     charged_bytes: int
     conservation_violations: list[str] = field(default_factory=list)
     unhandled_exceptions: list[str] = field(default_factory=list)
+    #: Per-operator billing totals + reconciliation counters (§16).
+    billing: dict[str, Any] = field(default_factory=dict)
+    billing_violations: list[str] = field(default_factory=list)
 
     @property
     def violations(self) -> list[str]:
@@ -122,6 +132,7 @@ class ChaosReport:
         out.extend(self.unhandled_exceptions)
         if not self.free_bytes:
             out.append("vacuous run: no flow was zero-rated at all")
+        out.extend(self.billing_violations)
         return out
 
     @property
@@ -167,7 +178,13 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
         flow_key_of,
         make_tcp_packet,
     )
-    from ..services.zerorate import ZeroRatingMiddlebox
+    from ..services.billing import BillingAccountant, BillingJournal, reconcile
+    from ..services.zerorate import (
+        AppCoverage,
+        CatalogSet,
+        OperatorCatalog,
+        ZeroRatingMiddlebox,
+    )
     from ..telemetry import MetricsRegistry
 
     config = config or ChaosConfig()
@@ -256,9 +273,41 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
         on_corrupt=lambda packet: corrupted_flows.add(flow_key_of(packet)),
         telemetry=telemetry,
     )
+    # Billing rides the same storm: three operator catalogs over the one
+    # chaos service — op-a unlimited, op-b behind a cap that bites
+    # mid-run, op-c roaming-suspended for its first home — journaled and
+    # reconciled to the delivered ground truth at the end.
+    chaos_app = AppCoverage(
+        app=CHAOS_SERVICE, origin_ips=frozenset({_SERVER_IP})
+    )
+    catalogs = CatalogSet(
+        [
+            OperatorCatalog(operator="op-a", apps=(chaos_app,)),
+            OperatorCatalog(
+                operator="op-b", apps=(chaos_app,), cap_bytes=20_000
+            ),
+            OperatorCatalog(operator="op-c", apps=(chaos_app,)),
+        ]
+    )
+    chaos_operators = ("op-a", "op-b", "op-c")
+    for home in range(config.homes):
+        catalogs.assign(
+            f"10.0.{home}.2", chaos_operators[home % len(chaos_operators)]
+        )
+    if config.homes > 2:
+        catalogs.set_roaming("10.0.2.2")  # op-c's first home is abroad
+    journal_dir = tempfile.mkdtemp(prefix="repro-chaos-billing-")
+    journal = BillingJournal(
+        journal_dir,
+        source="chaos",
+        stream_seed=config.seed,
+        fsync="never",
+    )
+    accountant = BillingAccountant(catalogs, journal)
     middlebox = ZeroRatingMiddlebox(
         CookieMatcher(store, nct=config.nct_s),
         clock=clock,
+        billing=accountant,
         telemetry=telemetry,
     )
 
@@ -401,6 +450,71 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
             if isinstance(value, (int, float)):
                 agent_totals[name] = agent_totals.get(name, 0) + int(value)
 
+    # ------------------------------------------------------------------
+    # Billing invariant: per operator, invoiced free+charged per IP ==
+    # bytes the sink delivered, across the whole faulted soak.
+    # ------------------------------------------------------------------
+    billing_violations: list[str] = []
+    billing_summary: dict[str, Any] = {}
+    try:
+        accountant.flush_all(now=clock())
+        records = list(journal.records())
+        journal.close()
+        delivered_by_operator: dict[str, dict[str, int]] = {}
+        for ip, nbytes in per_ip_delivered.items():
+            per = delivered_by_operator.setdefault(
+                catalogs.operator_of(ip), {}
+            )
+            per[ip] = per.get(ip, 0) + nbytes
+        reconciled = reconcile(
+            records,
+            delivered=delivered_by_operator,
+            recovery=journal.recovery,
+        )
+        billing_violations.extend(reconciled.tariff_violations)
+        for operator, per in sorted(reconciled.lost.items()):
+            for ip, nbytes in sorted(per.items()):
+                billing_violations.append(
+                    f"billing lost: {operator}/{ip} delivered {nbytes} B "
+                    "never invoiced"
+                )
+        for operator, per in sorted(reconciled.double_billed.items()):
+            for ip, nbytes in sorted(per.items()):
+                billing_violations.append(
+                    f"billing double: {operator}/{ip} invoiced {nbytes} B "
+                    "never delivered"
+                )
+        capped = reconciled.invoices.get("op-b")
+        if capped is not None and capped.statements:
+            over = [
+                ip
+                for ip, statement in capped.statements.items()
+                if statement.free_bytes > 20_000
+            ]
+            if over:
+                billing_violations.append(
+                    f"op-b cap exceeded for {sorted(over)}"
+                )
+        billing_summary = {
+            "records": reconciled.records_applied,
+            "duplicates_skipped": reconciled.duplicates_skipped,
+            "corrupt_records": reconciled.corrupt_records,
+            "operators": {
+                operator: {
+                    "free_bytes": invoice.free_bytes,
+                    "charged_bytes": invoice.charged_bytes,
+                    "subscribers": len(invoice.statements),
+                }
+                for operator, invoice in sorted(
+                    reconciled.invoices.items()
+                )
+            },
+        }
+    except Exception:  # billing must never crash the soak either
+        billing_violations.append(traceback.format_exc())
+    finally:
+        shutil.rmtree(journal_dir, ignore_errors=True)
+
     return ChaosReport(
         config=asdict(config),
         faults=injector.stats.as_dict(),
@@ -424,6 +538,8 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
         charged_bytes=charged_bytes,
         conservation_violations=conservation,
         unhandled_exceptions=unhandled,
+        billing=billing_summary,
+        billing_violations=billing_violations,
     )
 
 

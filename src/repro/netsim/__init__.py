@@ -8,7 +8,15 @@ pipeline, a compact TCP model, and canonical topologies.
 
 from .capture import CaptureRecord, PacketCapture
 from .events import EventLoop, ScheduledEvent, SimulationError
-from .faults import FaultInjector, FaultPlan, FaultStats, SkewedClock
+from .faults import (
+    DiskFaultInjector,
+    DiskFaultPlan,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    SkewedClock,
+    TornWrite,
+)
 from .flow import FiveTuple, Flow, FlowTable, flow_key_of
 from .headers import (
     DSCP_MAX,
@@ -54,10 +62,13 @@ __all__ = [
     "CaptureRecord",
     "PacketCapture",
     "EventLoop",
+    "DiskFaultInjector",
+    "DiskFaultPlan",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",
     "SkewedClock",
+    "TornWrite",
     "ScheduledEvent",
     "SimulationError",
     "FiveTuple",

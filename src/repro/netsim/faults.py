@@ -27,15 +27,26 @@ the verifier's NCT window does the rest.
 from __future__ import annotations
 
 import copy
+import errno
+import os
 import random
-from dataclasses import dataclass, field
+import signal
+from dataclasses import dataclass
 from typing import Callable
 
 from .events import EventLoop
 from .middlebox import Element
 from .packet import Packet
 
-__all__ = ["FaultPlan", "FaultInjector", "FaultStats", "SkewedClock"]
+__all__ = [
+    "DiskFaultInjector",
+    "DiskFaultPlan",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "SkewedClock",
+    "TornWrite",
+]
 
 # Carrier constants, duplicated from repro.core.transport so the netsim
 # layer stays below core (the values are wire constants, not code).
@@ -338,6 +349,86 @@ class FaultInjector(Element):
             )
 
         registry.register_collector(prefix, collect)
+
+
+class TornWrite(OSError):
+    """A torn-write injection fired: only a prefix of the frame reached
+    the file.  In a real crash the process is gone at this point, so the
+    raising writer must be treated as dead — only recovery through a
+    fresh :class:`~repro.services.billing.journal.BillingJournal` makes
+    the directory writable again."""
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """Deterministic storage faults for write-ahead journals.
+
+    Unlike :class:`FaultPlan`, these are *not* probabilistic: crash
+    drills must tear the exact same byte of the exact same append every
+    run, so faults are addressed by append index (0-based count of
+    appends the injector has seen).
+
+    - ``torn_write_at``: on that append, write only ``torn_write_bytes``
+      of the frame to the file (a prefix), then either raise
+      :class:`TornWrite` (in-process tests) or — if ``kill_on_tear`` —
+      fsync the torn prefix and SIGKILL the process (the crash drill's
+      "power loss mid-append").
+    - ``enospc_at``: on that append, raise ``OSError(ENOSPC)`` before
+      any byte is written (the journal maps it to ``JournalFull``).
+    """
+
+    torn_write_at: int | None = None
+    torn_write_bytes: int = 0
+    enospc_at: int | None = None
+    kill_on_tear: bool = False
+
+    def __post_init__(self) -> None:
+        if self.torn_write_bytes < 0:
+            raise ValueError("torn_write_bytes must be >= 0")
+
+
+@dataclass
+class DiskFaultInjector:
+    """Hooks a journal's append path (``disk_faults=`` parameter).
+
+    The journal calls :meth:`on_append` with its open file and the full
+    frame; a clean append is a plain ``file.write(frame)``.
+    """
+
+    plan: DiskFaultPlan
+    appends_seen: int = 0
+    torn_writes: int = 0
+    enospc_errors: int = 0
+
+    def on_append(self, file, frame: bytes) -> None:
+        index = self.appends_seen
+        self.appends_seen += 1
+        plan = self.plan
+        if plan.enospc_at is not None and index == plan.enospc_at:
+            self.enospc_errors += 1
+            raise OSError(errno.ENOSPC, "injected disk full")
+        if plan.torn_write_at is not None and index == plan.torn_write_at:
+            self.torn_writes += 1
+            prefix = frame[: min(plan.torn_write_bytes, len(frame))]
+            file.write(prefix)
+            file.flush()
+            os.fsync(file.fileno())
+            if plan.kill_on_tear:
+                # Power loss mid-append: the torn prefix is durable, the
+                # process is gone.  SIGKILL cannot be caught or blocked.
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise TornWrite(
+                f"torn write at append {index}: "
+                f"{len(prefix)}/{len(frame)} bytes reached disk"
+            )
+        file.write(frame)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "appends_seen": self.appends_seen,
+            "torn_writes": self.torn_writes,
+            "enospc_errors": self.enospc_errors,
+        }
 
 
 def _flip_bit(data: bytes, rng: random.Random) -> bytes:

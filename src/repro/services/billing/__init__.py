@@ -1,0 +1,34 @@
+"""Durable multi-operator billing: journal, accountant, invoices,
+exactly-once reconciliation (PROTOCOL.md §16).
+
+The catalog model itself (operators, coverage, caps, roaming) lives in
+:mod:`repro.services.zerorate.catalog`; this package is the durability
+and reconciliation layer underneath it.
+"""
+
+from .accounting import BillingAccountant
+from .invoice import InvoiceLine, OperatorInvoice, SubscriberStatement, build_invoices
+from .journal import (
+    BillingJournal,
+    BillingRecord,
+    JournalFull,
+    JournalRecoveryStats,
+    record_identity,
+)
+from .reconcile import ReconciliationReport, reconcile, reconcile_directories
+
+__all__ = [
+    "BillingAccountant",
+    "BillingJournal",
+    "BillingRecord",
+    "InvoiceLine",
+    "JournalFull",
+    "JournalRecoveryStats",
+    "OperatorInvoice",
+    "ReconciliationReport",
+    "SubscriberStatement",
+    "build_invoices",
+    "reconcile",
+    "reconcile_directories",
+    "record_identity",
+]

@@ -1,0 +1,244 @@
+"""Billing accountant: data path -> catalog decision -> journal flush.
+
+The accountant sits between a zero-rating element (stateful or
+stateless) and the durable journal.  Every accounted packet gets a
+:class:`~repro.services.zerorate.catalog.BillingDecision` from the
+:class:`~repro.services.zerorate.catalog.CatalogSet`; the resulting
+byte delta accumulates in a *pending* buffer and is written to the
+journal when the subscriber is flushed — which MUST happen before the
+middlebox evicts the subscriber's counters (the satellite-2 contract:
+eviction without a flush is a raise, not a warning, because it is
+silent revenue loss).
+
+Cap accounting (``cap_used``) tracks *free* bytes per (operator,
+subscriber) and is consulted before the pending buffer is journaled, so
+the cap bites in real time, not at flush granularity.  After a crash,
+:meth:`seed_cap_usage` re-primes the cap state from reconciled
+invoices so a recovered deployment keeps enforcing where it left off.
+
+A :class:`~repro.services.billing.journal.JournalFull` during flush
+keeps the delta pending (nothing lost, counted in ``flush_failures``);
+the caller clears the disk and flushes again.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..zerorate.catalog import BillingDecision, CatalogSet
+from .journal import BillingJournal, JournalFull
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ...telemetry import MetricsRegistry
+
+__all__ = ["BillingAccountant"]
+
+#: pending bucket key: (app, byte_class, free)
+_Bucket = tuple
+
+
+class BillingAccountant:
+    """Accumulates catalog-decided byte deltas and journals them."""
+
+    def __init__(self, catalogs: CatalogSet, journal: BillingJournal) -> None:
+        self.catalogs = catalogs
+        self.journal = journal
+        #: (operator, subscriber) -> {(app, byte_class, free): bytes}
+        self._pending: dict[tuple[str, str], dict[_Bucket, int]] = {}
+        #: (operator, subscriber) -> free bytes counted against the cap
+        self._cap_used: dict[tuple[str, str], int] = {}
+        self.packets_accounted = 0
+        self.bytes_accounted = 0
+        self.free_bytes = 0
+        self.charged_bytes = 0
+        self.flushes = 0
+        self.flush_failures = 0
+
+    # ------------------------------------------------------------------
+    # Data-path entry point
+    # ------------------------------------------------------------------
+    def account(
+        self,
+        subscriber_ip: str,
+        app: str | None,
+        server_ip: str | None,
+        nbytes: int,
+        *,
+        cookied: bool,
+        now: float = 0.0,
+    ) -> bool:
+        """Classify + buffer one packet's bytes; returns freeness.
+
+        The returned bool is what the data path mirrors into its own
+        free/charged counters and the packet's ``zero_rated`` meta, so
+        the wire-visible decision and the invoice can never disagree.
+        """
+        decision = self.catalogs.decide(
+            subscriber_ip,
+            app,
+            server_ip,
+            nbytes,
+            cookied=cookied,
+            cap_used=self._cap_used.get(
+                (self.catalogs.operator_of(subscriber_ip), subscriber_ip), 0
+            ),
+        )
+        key = (decision.operator, subscriber_ip)
+        bucket = (decision.app, decision.byte_class, decision.free)
+        pending = self._pending.setdefault(key, {})
+        pending[bucket] = pending.get(bucket, 0) + nbytes
+        if decision.free:
+            self._cap_used[key] = self._cap_used.get(key, 0) + nbytes
+            self.free_bytes += nbytes
+        else:
+            self.charged_bytes += nbytes
+        self.packets_accounted += 1
+        self.bytes_accounted += nbytes
+        return decision.free
+
+    def decide_only(
+        self,
+        subscriber_ip: str,
+        app: str | None,
+        server_ip: str | None,
+        nbytes: int,
+        *,
+        cookied: bool,
+    ) -> BillingDecision:
+        """Peek at the decision without accounting (diagnostics)."""
+        return self.catalogs.decide(
+            subscriber_ip,
+            app,
+            server_ip,
+            nbytes,
+            cookied=cookied,
+            cap_used=self._cap_used.get(
+                (self.catalogs.operator_of(subscriber_ip), subscriber_ip), 0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Flush path (the durability contract)
+    # ------------------------------------------------------------------
+    def flush_subscriber(self, subscriber_ip: str, *, now: float = 0.0) -> int:
+        """Journal every pending delta for one subscriber.
+
+        Called by the middlebox's eviction callback *before* the
+        in-memory counters drop, and at shutdown.  Returns the number of
+        records written.  On :class:`JournalFull` the un-journaled
+        buckets stay pending and the error propagates after the partial
+        progress is recorded.
+        """
+        written = 0
+        for key in [k for k in self._pending if k[1] == subscriber_ip]:
+            written += self._flush_key(key, now=now)
+        return written
+
+    def flush_all(self, *, now: float = 0.0) -> int:
+        """Journal every pending delta (shutdown / checkpoint)."""
+        written = 0
+        for key in list(self._pending):
+            written += self._flush_key(key, now=now)
+        self.journal.sync()
+        return written
+
+    def _flush_key(self, key: tuple[str, str], *, now: float) -> int:
+        operator, subscriber = key
+        buckets = self._pending.get(key)
+        if not buckets:
+            self._pending.pop(key, None)
+            return 0
+        written = 0
+        for bucket in sorted(buckets):
+            app, byte_class, free = bucket
+            nbytes = buckets[bucket]
+            if nbytes <= 0:
+                del buckets[bucket]
+                continue
+            try:
+                self.journal.append(
+                    operator=operator,
+                    subscriber=subscriber,
+                    app=app,
+                    byte_class=byte_class,
+                    free_bytes=nbytes if free else 0,
+                    charged_bytes=0 if free else nbytes,
+                    time=now,
+                )
+            except JournalFull:
+                self.flush_failures += 1
+                raise
+            del buckets[bucket]
+            written += 1
+        if not buckets:
+            self._pending.pop(key, None)
+        self.flushes += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def seed_cap_usage(self, free_by_subscriber: dict[str, dict[str, int]]) -> None:
+        """Re-prime cap state from reconciled invoices after recovery.
+
+        ``free_by_subscriber`` is operator -> subscriber -> free bytes
+        already granted (an invoice's per-statement ``free_bytes``).
+        """
+        for operator, per_subscriber in free_by_subscriber.items():
+            for subscriber, free in per_subscriber.items():
+                self._cap_used[(operator, subscriber)] = free
+
+    def cap_used(self, subscriber_ip: str) -> int:
+        operator = self.catalogs.operator_of(subscriber_ip)
+        return self._cap_used.get((operator, subscriber_ip), 0)
+
+    @property
+    def pending_subscribers(self) -> int:
+        return len({key[1] for key in self._pending})
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(
+            nbytes
+            for buckets in self._pending.values()
+            for nbytes in buckets.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats_dict(self) -> dict[str, int]:
+        return {
+            "packets_accounted": self.packets_accounted,
+            "bytes_accounted": self.bytes_accounted,
+            "free_bytes": self.free_bytes,
+            "charged_bytes": self.charged_bytes,
+            "flushes": self.flushes,
+            "flush_failures": self.flush_failures,
+            "catalog_updates": self.catalogs.catalog_updates,
+        }
+
+    def register_telemetry(
+        self, registry: "MetricsRegistry", prefix: str = "billing"
+    ) -> None:
+        from ...telemetry import TelemetrySnapshot
+
+        def collect() -> TelemetrySnapshot:
+            counters = {
+                f"{prefix}.{name}": value
+                for name, value in self.stats_dict().items()
+            }
+            for name, value in self.journal.stats_dict().items():
+                if name == "next_offset":
+                    continue
+                counters[f"{prefix}.journal.{name}"] = value
+            return TelemetrySnapshot(
+                counters=counters,
+                gauges={
+                    f"{prefix}.pending_subscribers": self.pending_subscribers,
+                    f"{prefix}.pending_bytes": self.pending_bytes,
+                    f"{prefix}.journal.next_offset": self.journal.next_offset,
+                },
+            )
+
+        registry.register_collector(prefix, collect)

@@ -1,0 +1,186 @@
+"""Exactly-once invoice reconciliation (PROTOCOL.md §16.4).
+
+Reconciliation replays one or more billing journals into per-operator
+invoices and proves three things about the result:
+
+1. **Exactly-once.** Records are deduplicated by ``record_id`` (seed-
+   derived from (stream_seed, source, offset)), so replaying a segment
+   twice — or feeding overlapping segment copies from a backup — changes
+   nothing but the ``duplicates_skipped`` counter.
+2. **Tariff conformance.** A free byte must sit in a coverable byte
+   class (origin/cdn — the catalog can never zero-rate third-party or
+   uncookied bytes), and when the caller passes the operator cap map,
+   per-subscriber free bytes must not exceed the cap.
+3. **Ground truth.** When the caller passes delivered-byte truth from
+   :class:`repro.netsim.capture.PacketCapture` (grouped per operator →
+   subscriber), invoiced totals must match delivered exactly: any
+   shortfall is ``lost_bytes`` (a byte the subscriber received but
+   nobody billed), any excess is ``double_billed_bytes``.  The crash
+   drill's "never lose or double-bill a byte" claim is this check.
+
+Corrupt records were already quarantined at read time by the journal
+scanner; reconciliation reports them (``billing.corrupt_records``) and
+carries on — a torn disk must never abort invoicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..zerorate.catalog import COVERABLE_CLASSES
+from .invoice import OperatorInvoice, build_invoices
+from .journal import BillingJournal, BillingRecord, JournalRecoveryStats
+
+__all__ = ["ReconciliationReport", "reconcile", "reconcile_directories"]
+
+
+@dataclass
+class ReconciliationReport:
+    """The outcome of one reconciliation pass."""
+
+    invoices: dict[str, OperatorInvoice]
+    records_seen: int = 0
+    records_applied: int = 0
+    duplicates_skipped: int = 0
+    corrupt_records: int = 0
+    torn_tail_truncated: int = 0
+    tariff_violations: list[str] = field(default_factory=list)
+    #: operator -> subscriber -> bytes invoiced but not delivered
+    double_billed: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: operator -> subscriber -> bytes delivered but never invoiced
+    lost: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def double_billed_bytes(self) -> int:
+        return sum(sum(per.values()) for per in self.double_billed.values())
+
+    @property
+    def lost_bytes(self) -> int:
+        return sum(sum(per.values()) for per in self.lost.values())
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.tariff_violations
+            and self.double_billed_bytes == 0
+            and self.lost_bytes == 0
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "records_seen": self.records_seen,
+            "records_applied": self.records_applied,
+            "duplicates_skipped": self.duplicates_skipped,
+            "corrupt_records": self.corrupt_records,
+            "torn_tail_truncated": self.torn_tail_truncated,
+            "lost_bytes": self.lost_bytes,
+            "double_billed_bytes": self.double_billed_bytes,
+            "tariff_violations": list(self.tariff_violations),
+            "invoices": {
+                op: self.invoices[op].to_json() for op in sorted(self.invoices)
+            },
+        }
+
+
+def reconcile(
+    records: Iterable[BillingRecord],
+    *,
+    rates: dict[str, float] | None = None,
+    caps: dict[str, int | None] | None = None,
+    delivered: dict[str, dict[str, int]] | None = None,
+    recovery: JournalRecoveryStats | None = None,
+    applied_ids: set[int] | None = None,
+) -> ReconciliationReport:
+    """Replay ``records`` into invoices with exactly-once semantics.
+
+    ``delivered`` is operator -> subscriber -> total delivered bytes
+    (ground truth).  ``caps`` maps operator -> cap bytes (None for
+    unlimited) and is only meaningful when the cap was constant for the
+    window — mid-flight catalog updates make per-subscriber cap checks
+    the experiment's job, not reconciliation's.  ``applied_ids`` lets a
+    caller thread a dedup set across multiple passes (checkpointed
+    incremental reconciliation).
+    """
+    seen_ids = applied_ids if applied_ids is not None else set()
+    unique: list[BillingRecord] = []
+    report = ReconciliationReport(invoices={})
+    for record in records:
+        report.records_seen += 1
+        if record.record_id in seen_ids:
+            report.duplicates_skipped += 1
+            continue
+        seen_ids.add(record.record_id)
+        unique.append(record)
+    report.records_applied = len(unique)
+    report.invoices = build_invoices(unique, rates=rates)
+    if recovery is not None:
+        report.corrupt_records = recovery.corrupt_records
+        report.torn_tail_truncated = recovery.torn_tail_truncated
+
+    # --- tariff conformance -------------------------------------------
+    for record in unique:
+        if record.free_bytes and record.byte_class not in COVERABLE_CLASSES:
+            report.tariff_violations.append(
+                f"{record.operator}/{record.subscriber}: {record.free_bytes}B "
+                f"free in non-coverable class {record.byte_class!r} "
+                f"(offset {record.offset})"
+            )
+        if record.free_bytes < 0 or record.charged_bytes < 0:
+            report.tariff_violations.append(
+                f"{record.operator}/{record.subscriber}: negative bytes at "
+                f"offset {record.offset}"
+            )
+    if caps:
+        for operator, invoice in report.invoices.items():
+            cap = caps.get(operator)
+            if cap is None:
+                continue
+            for subscriber, statement in invoice.statements.items():
+                if statement.free_bytes > cap:
+                    report.tariff_violations.append(
+                        f"{operator}/{subscriber}: {statement.free_bytes}B "
+                        f"free exceeds cap {cap}B"
+                    )
+
+    # --- delivered-byte ground truth ----------------------------------
+    if delivered is not None:
+        operators = set(delivered) | set(report.invoices)
+        for operator in sorted(operators):
+            truth = delivered.get(operator, {})
+            invoice = report.invoices.get(operator)
+            billed = invoice.per_subscriber_totals() if invoice else {}
+            for subscriber in sorted(set(truth) | set(billed)):
+                got = truth.get(subscriber, 0)
+                inv = billed.get(subscriber, 0)
+                if inv > got:
+                    report.double_billed.setdefault(operator, {})[subscriber] = (
+                        inv - got
+                    )
+                elif got > inv:
+                    report.lost.setdefault(operator, {})[subscriber] = got - inv
+    return report
+
+
+def reconcile_directories(
+    directories: Sequence[str],
+    *,
+    rates: dict[str, float] | None = None,
+    caps: dict[str, int | None] | None = None,
+    delivered: dict[str, dict[str, int]] | None = None,
+) -> ReconciliationReport:
+    """Read + reconcile one or more journal directories (read-only)."""
+    all_records: list[BillingRecord] = []
+    recovery = JournalRecoveryStats()
+    for directory in directories:
+        records, stats = BillingJournal.read_directory(directory)
+        all_records.extend(records)
+        recovery.merge(stats)
+    return reconcile(
+        all_records,
+        rates=rates,
+        caps=caps,
+        delivered=delivered,
+        recovery=recovery,
+    )

@@ -1,11 +1,23 @@
 """Cookie-based zero-rating: the two-counter middlebox and billing."""
 
 from .accounting import AccountingLedger, BillingPlan, Invoice
+from .catalog import (
+    BYTE_CLASSES,
+    COVERABLE_CLASSES,
+    ROAMING_SUSPEND,
+    ROAMING_ZERO_RATE,
+    UNASSIGNED_OPERATOR,
+    AppCoverage,
+    BillingDecision,
+    CatalogSet,
+    OperatorCatalog,
+)
 from .stateless import StatelessZeroRater
 from .middlebox import (
     DEFAULT_MAX_FLOWS,
     DEFAULT_MAX_SUBSCRIBERS,
     ZERO_RATE_SNIFF_PACKETS,
+    BillingFlushRequired,
     SubscriberCounters,
     ZeroRatingMiddlebox,
     flow_key_to_fivetuple,
@@ -13,8 +25,18 @@ from .middlebox import (
 
 __all__ = [
     "AccountingLedger",
+    "AppCoverage",
+    "BillingDecision",
+    "BillingFlushRequired",
     "BillingPlan",
+    "BYTE_CLASSES",
+    "CatalogSet",
+    "COVERABLE_CLASSES",
     "Invoice",
+    "OperatorCatalog",
+    "ROAMING_SUSPEND",
+    "ROAMING_ZERO_RATE",
+    "UNASSIGNED_OPERATOR",
     "DEFAULT_MAX_FLOWS",
     "DEFAULT_MAX_SUBSCRIBERS",
     "ZERO_RATE_SNIFF_PACKETS",

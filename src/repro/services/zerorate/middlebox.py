@@ -36,9 +36,11 @@ from ...netsim.packet import Packet
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from ...core.distributed import ShardedVerifierPool
     from ...core.parallel import ProcessShardExecutor
+    from ...services.billing import BillingAccountant
     from ...telemetry import MetricsRegistry
 
 __all__ = [
+    "BillingFlushRequired",
     "SubscriberCounters",
     "ZeroRatingMiddlebox",
     "ZERO_RATE_SNIFF_PACKETS",
@@ -46,6 +48,14 @@ __all__ = [
     "DEFAULT_MAX_SUBSCRIBERS",
     "flow_key_to_fivetuple",
 ]
+
+
+class BillingFlushRequired(RuntimeError):
+    """A billing-enabled middlebox was about to evict a subscriber's
+    counters with no flush callback wired — silent revenue loss.  The
+    constructor installs the journal-flush callback automatically when
+    ``billing=`` is given; this raise means someone cleared
+    ``on_subscriber_evicted`` afterwards."""
 
 
 def flow_key_to_fivetuple(key: tuple) -> FiveTuple:
@@ -98,6 +108,7 @@ class _FlowState:
     zero_rated: bool = False
     packets_seen: int = 0
     subscriber_ip: str = ""
+    remote_ip: str = ""
     service: object = None
     resolved: bool = False
     last_seen: float = 0.0
@@ -140,6 +151,7 @@ class ZeroRatingMiddlebox(Element):
         on_subscriber_evicted: (
             Callable[[str, SubscriberCounters], None] | None
         ) = None,
+        billing: "BillingAccountant | None" = None,
         telemetry: "MetricsRegistry | None" = None,
         telemetry_prefix: str = "middlebox",
         name: str = "zero-rating",
@@ -165,6 +177,26 @@ class ZeroRatingMiddlebox(Element):
         self.max_flows = max_flows
         self.flow_idle_timeout = flow_idle_timeout
         self.max_subscribers = max_subscribers
+        #: Optional :class:`~repro.services.billing.BillingAccountant`
+        #: (duck-typed: ``account(...)`` + ``flush_subscriber(ip)``).
+        #: With billing, packet freeness comes from the subscriber's
+        #: operator catalog (coverage, caps, roaming) instead of the
+        #: bare cookie verdict, and every eviction flushes the pending
+        #: deltas to the journal first — the flush callback is wired
+        #: here and is *mandatory*: evicting without it raises
+        #: :class:`BillingFlushRequired`.
+        self.billing = billing
+        if billing is not None:
+            user_callback = on_subscriber_evicted
+
+            def _flush_then_notify(
+                ip: str, counters: SubscriberCounters
+            ) -> None:
+                billing.flush_subscriber(ip)
+                if user_callback is not None:
+                    user_callback(ip, counters)
+
+            on_subscriber_evicted = _flush_then_notify
         self.on_subscriber_evicted = on_subscriber_evicted
         # Both dicts are LRU-ordered: touched entries are re-inserted at
         # the end, so the first key is always the least recently active.
@@ -189,13 +221,21 @@ class ZeroRatingMiddlebox(Element):
     # Fast path
     # ------------------------------------------------------------------
     def handle(self, packet: Packet) -> None:
+        self.emit(self._handle_one(packet, self.clock()))
+
+    def _handle_one(self, packet: Packet, now: float) -> Packet:
+        """Classify, account, and tag one packet; returns it for emit.
+
+        Shared by the scalar path (one clock read per packet) and the
+        billing-enabled batch path (one clock read per batch — billing
+        needs per-packet catalog decisions, so the resolved-run
+        coalescing of the counter-only batch path does not apply).
+        """
         self.packets_processed += 1
         ip = packet.ip
         l4 = packet.l4
         if ip is None or l4 is None:
-            self.emit(packet)
-            return
-        now = self.clock()
+            return packet
         # Canonical bidirectional key without FlowTable overhead.
         a = (ip.src, l4.src_port)
         b = (ip.dst, l4.dst_port)
@@ -205,16 +245,12 @@ class ZeroRatingMiddlebox(Element):
         state = flows.pop(key, None)
         if state is None:
             self._evict_for_space(now)
-            state = _FlowState(
-                subscriber_ip=self._subscriber_of(ip.src, ip.dst)
-            )
+            state = self._new_flow_state(ip.src, ip.dst)
         elif now - state.last_seen > self.flow_idle_timeout:
             # The real box would have aged this entry out already; what it
             # sees now is a brand-new flow.
             self.flows_evicted_idle += 1
-            state = _FlowState(
-                subscriber_ip=self._subscriber_of(ip.src, ip.dst)
-            )
+            state = self._new_flow_state(ip.src, ip.dst)
         state.last_seen = now
         flows[key] = state
         state.packets_seen += 1
@@ -242,10 +278,10 @@ class ZeroRatingMiddlebox(Element):
                 # offload hook must still fire.
                 self._resolve(key, state)
 
-        self._account(state, packet)
-        if state.zero_rated:
+        free = self._account(state, packet, now)
+        if free:
             packet.meta["zero_rated"] = True
-        self.emit(packet)
+        return packet
 
     def process_batch(self, packets: list[Packet]) -> None:
         """Batched fast path: one tick's packets, one observation time.
@@ -266,8 +302,15 @@ class ZeroRatingMiddlebox(Element):
           and counter values are unchanged — consecutive scalar touches
           of one key neither move it relative to other keys nor bill a
           different total.
+
+        With billing enabled the coalescing is unsound (a cap can cross
+        mid-run, flipping freeness per packet), so the batch degrades to
+        the shared per-packet path with one clock read.
         """
         now = self.clock()
+        if self.billing is not None:
+            self.emit_batch([self._handle_one(p, now) for p in packets])
+            return
         flows = self._flows
         counters = self.counters
         extract = self.registry.extract
@@ -469,10 +512,32 @@ class ZeroRatingMiddlebox(Element):
             return dst
         return src  # transit traffic: bill the sender
 
-    def _account(self, state: _FlowState, packet: Packet) -> None:
+    def _new_flow_state(self, src: str, dst: str) -> _FlowState:
+        subscriber = self._subscriber_of(src, dst)
+        return _FlowState(
+            subscriber_ip=subscriber,
+            remote_ip=dst if subscriber == src else src,
+        )
+
+    def _account(self, state: _FlowState, packet: Packet, now: float) -> bool:
+        """Bill one packet; returns whether its bytes rode free.
+
+        Without billing, freeness is the flow's cookie verdict (the
+        paper's idealized single operator).  With billing, the verdict
+        only establishes the *app*; the subscriber's operator catalog
+        decides freeness per packet (coverage of the server's tranche,
+        cap state, roaming) and the journal-backed accountant buffers
+        the delta.  The middlebox counters mirror the billed decision so
+        wire-visible accounting and invoices can never disagree.
+        """
         counters = self.counters.get(state.subscriber_ip)
         if counters is None:
             while len(self.counters) >= self.max_subscribers:
+                if self.billing is not None and self.on_subscriber_evicted is None:
+                    raise BillingFlushRequired(
+                        "billing-enabled middlebox cannot evict subscriber "
+                        "counters without a flush callback"
+                    )
                 evicted_ip = next(iter(self.counters))
                 evicted = self.counters.pop(evicted_ip)
                 self.subscribers_evicted += 1
@@ -486,10 +551,22 @@ class ZeroRatingMiddlebox(Element):
             # data packets of existing flows skip the extra dict work.
             del self.counters[state.subscriber_ip]
             self.counters[state.subscriber_ip] = counters
-        if state.zero_rated:
+        if self.billing is not None:
+            free = self.billing.account(
+                state.subscriber_ip,
+                state.service if state.zero_rated else None,
+                state.remote_ip,
+                packet.wire_length,
+                cookied=state.zero_rated,
+                now=now,
+            )
+        else:
+            free = state.zero_rated
+        if free:
             counters.free_bytes += packet.wire_length
         else:
             counters.charged_bytes += packet.wire_length
+        return free
 
     # ------------------------------------------------------------------
     # Operations

@@ -14,13 +14,16 @@ a single-packet carrier (IPv6 extension header or the UDP shim).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ...core.matcher import CookieMatcher
 from ...core.transport import TransportRegistry, default_registry
 from ...netsim.middlebox import Element
 from ...netsim.packet import Packet
 from .middlebox import SubscriberCounters
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ...services.billing import BillingAccountant
 
 __all__ = ["StatelessZeroRater"]
 
@@ -38,6 +41,7 @@ class StatelessZeroRater(Element):
         clock: Callable[[], float],
         registry: TransportRegistry | None = None,
         is_subscriber: Callable[[str], bool] | None = None,
+        billing: "BillingAccountant | None" = None,
         telemetry=None,
         telemetry_prefix: str = "stateless",
         name: str = "zero-rating-stateless",
@@ -49,6 +53,13 @@ class StatelessZeroRater(Element):
         self.is_subscriber = is_subscriber or (
             lambda ip: ip.startswith("10.") or ip.startswith("192.168.")
         )
+        #: Same contract as :class:`ZeroRatingMiddlebox`'s ``billing``:
+        #: the cookie establishes the app, the subscriber's operator
+        #: catalog decides freeness, and the accountant journals the
+        #: delta.  Because every packet is judged alone, the stateless
+        #: and stateful paths produce identical billing decisions for
+        #: the same bytes (pinned by the parity property test).
+        self.billing = billing
         self.counters: dict[str, SubscriberCounters] = {}
         self.packets_processed = 0
         self.cookie_hits = 0
@@ -62,7 +73,9 @@ class StatelessZeroRater(Element):
         if ip is None:
             self.emit(packet)
             return
-        free = False
+        now = self.clock()
+        cookied = False
+        service = None
         found = self.registry.extract(packet)
         if found is not None:
             # Meta parity with the stateful box: a consumed (verified)
@@ -70,13 +83,28 @@ class StatelessZeroRater(Element):
             # the neutrality auditor — see the same annotations on both
             # implementations.
             packet.meta["cookie_checked"] = True
-            if self.matcher.match(found[0], self.clock()) is not None:
-                free = True
+            descriptor = self.matcher.match(found[0], now)
+            if descriptor is not None:
+                cookied = True
+                service = descriptor.service_data
                 self.cookie_hits += 1
-                packet.meta["zero_rated"] = True
             else:
                 self.cookie_misses += 1
         subscriber = self._subscriber_of(ip.src, ip.dst)
+        if self.billing is not None:
+            remote = ip.dst if subscriber == ip.src else ip.src
+            free = self.billing.account(
+                subscriber,
+                service if cookied else None,
+                remote,
+                packet.wire_length,
+                cookied=cookied,
+                now=now,
+            )
+        else:
+            free = cookied
+        if free:
+            packet.meta["zero_rated"] = True
         counters = self.counters.get(subscriber)
         if counters is None:
             counters = SubscriberCounters()

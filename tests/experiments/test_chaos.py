@@ -35,6 +35,14 @@ class TestSmoke:
         assert report.conservation_violations == []
         # Non-vacuous: honest traffic was actually zero-rated.
         assert report.free_bytes > 0
+        # Billing invariant held and actually billed something: per
+        # operator, invoiced free+charged == delivered bytes.
+        assert report.billing_violations == []
+        assert report.billing["operators"]
+        assert any(
+            per["free_bytes"] > 0
+            for per in report.billing["operators"].values()
+        )
 
     def test_smoke_is_deterministic(self):
         first = run_chaos(SMOKE)

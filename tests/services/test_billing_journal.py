@@ -1,0 +1,253 @@
+"""Crash-safety and recovery edges of the billing journal (satellite 3).
+
+The journal's contract (PROTOCOL.md §16): after ANY crash, reopening
+recovers every fsynced record; at most one torn tail is truncated (never
+double-counted); a checksum-corrupt record is quarantined — surfaced in
+``billing.corrupt_records`` telemetry — without poisoning its
+neighbours; and replaying the same segments twice reconciles to the
+same invoices (exactly-once by record identity).
+"""
+
+import os
+
+import pytest
+
+from repro.netsim import DiskFaultInjector, DiskFaultPlan, TornWrite
+from repro.services.billing import (
+    BillingJournal,
+    JournalFull,
+    reconcile,
+    reconcile_directories,
+)
+from repro.services.billing.journal import (
+    FRAME_BYTES,
+    HEADER_BYTES,
+    SEGMENT_MAGIC,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def _fill(journal, count, start=0):
+    records = []
+    for i in range(start, start + count):
+        records.append(journal.append(
+            operator=f"op-{i % 2}",
+            subscriber=f"10.5.{i % 3}.2",
+            app="app",
+            byte_class="origin" if i % 2 == 0 else "third_party",
+            free_bytes=100 + i if i % 2 == 0 else 0,
+            charged_bytes=0 if i % 2 == 0 else 200 + i,
+            time=float(i),
+        ))
+    return records
+
+
+def test_roundtrip_and_reopen(tmp_path):
+    directory = str(tmp_path)
+    with BillingJournal(directory, fsync="never") as journal:
+        written = _fill(journal, 5)
+    with BillingJournal(directory, fsync="never") as journal:
+        assert list(journal.records()) == written
+        assert journal.next_offset == 5
+        assert journal.recovery.records_recovered == 5
+        assert journal.recovery.torn_tail_truncated == 0
+        # Offsets are dense and identities deterministic.
+        assert [r.offset for r in written] == list(range(5))
+
+
+def test_torn_final_record_truncated_not_fatal(tmp_path):
+    """A torn tail is truncated on disk; every prior record survives."""
+    directory = str(tmp_path)
+    with BillingJournal(directory, fsync="never") as journal:
+        _fill(journal, 4)
+        path = journal.segment_paths(directory)[-1]
+    intact = os.path.getsize(path)
+    # Append a frame header that promises more payload than exists.
+    with open(path, "ab") as handle:
+        handle.write(b"\x00\x00\x00\x63\x12\x34\x56\x78" + b"short")
+    journal = BillingJournal(directory, fsync="never")
+    assert len(list(journal.records())) == 4
+    assert journal.recovery.torn_tail_truncated == 1
+    assert journal.recovery.corrupt_records == 0
+    # The torn bytes are gone from disk: a second reopen is clean.
+    assert os.path.getsize(path) == intact
+    journal.append(operator="op-0", subscriber="10.5.0.2", app="app",
+                   byte_class="origin", free_bytes=1)
+    journal.close()
+    reopened = BillingJournal(directory, fsync="never")
+    assert reopened.recovery.torn_tail_truncated == 0
+    assert reopened.next_offset == 5
+    reopened.close()
+
+
+def test_torn_frame_header_tail(tmp_path):
+    """Fewer than FRAME_BYTES trailing bytes is also just a torn tail."""
+    directory = str(tmp_path)
+    with BillingJournal(directory, fsync="never") as journal:
+        _fill(journal, 3)
+        path = journal.segment_paths(directory)[-1]
+    with open(path, "ab") as handle:
+        handle.write(b"\x00\x00\x00")
+    journal = BillingJournal(directory, fsync="never")
+    assert len(list(journal.records())) == 3
+    assert journal.recovery.torn_tail_truncated == 1
+    assert journal.recovery.torn_tail_bytes == 3
+    journal.close()
+
+
+def test_checksum_corrupt_record_quarantined_with_telemetry(tmp_path):
+    """Bit-rot inside a record loses that record alone, and telemetry
+    reports it under ``billing.journal.corrupt_records``."""
+    directory = str(tmp_path)
+    with BillingJournal(directory, fsync="never") as journal:
+        _fill(journal, 5)
+        path = journal.segment_paths(directory)[-1]
+    size = os.path.getsize(path)
+    # Flip one payload byte in the middle of the file: framing stays
+    # intact, the CRC does not.
+    with open(path, "r+b") as handle:
+        handle.seek(HEADER_BYTES + FRAME_BYTES + 4)
+        byte = handle.read(1)
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    journal = BillingJournal(directory, fsync="never")
+    assert len(list(journal.records())) == 4
+    assert journal.recovery.corrupt_records == 1
+    assert journal.recovery.quarantined_bytes > 0
+    assert journal.recovery.torn_tail_truncated == 0
+    # Quarantine is not truncation: the file is untouched.
+    assert os.path.getsize(path) == size
+    registry = MetricsRegistry()
+    journal.register_telemetry(registry)
+    counters = registry.snapshot().counters
+    assert counters["billing.journal.corrupt_records"] == 1
+    assert counters["billing.journal.records_recovered"] == 4
+    journal.close()
+
+
+def test_duplicate_segment_replay_is_idempotent(tmp_path):
+    """Reconciling the same directory twice (operator re-ships a backup)
+    skips every duplicate by record identity."""
+    directory = str(tmp_path)
+    with BillingJournal(directory, stream_seed=7, fsync="never") as journal:
+        _fill(journal, 6)
+    once = reconcile_directories([directory])
+    twice = reconcile_directories([directory, directory])
+    assert once.records_applied == 6
+    assert twice.records_applied == 6
+    assert twice.duplicates_skipped == 6
+    for operator, invoice in once.invoices.items():
+        assert twice.invoices[operator].free_bytes == invoice.free_bytes
+        assert twice.invoices[operator].charged_bytes == invoice.charged_bytes
+
+
+def test_incremental_replay_with_applied_ids(tmp_path):
+    """A reconciler fed overlapping batches applies each record once."""
+    directory = str(tmp_path)
+    with BillingJournal(directory, fsync="never") as journal:
+        written = _fill(journal, 8)
+    applied: set[int] = set()
+    first = reconcile(written[:5], applied_ids=applied)
+    second = reconcile(written[2:], applied_ids=applied)
+    assert first.records_applied == 5
+    assert second.records_applied == 3
+    assert second.duplicates_skipped == 3
+
+
+def test_rotation_and_compaction(tmp_path):
+    directory = str(tmp_path)
+    journal = BillingJournal(directory, max_segment_bytes=256, fsync="rotate")
+    _fill(journal, 12)
+    paths = journal.segment_paths(directory)
+    assert len(paths) >= 3
+    assert journal.stats_dict()["segment_rotations"] == len(paths) - 1
+    # Every segment leads with the magic and its base offset.
+    for path in paths:
+        with open(path, "rb") as handle:
+            assert handle.read(len(SEGMENT_MAGIC)) == SEGMENT_MAGIC
+    # Compact away everything below the live segment's base offset.
+    base_of_last = int(os.path.basename(paths[-1]).split("-")[1].split(".")[0])
+    removed = journal.compact_to(journal.next_offset)
+    assert removed == len(paths) - 1
+    survivors = journal.segment_paths(directory)
+    assert len(survivors) == 1
+    assert survivors[0] == paths[-1]
+    # Offsets keep counting from where the journal left off.
+    journal.append(operator="op-0", subscriber="10.5.0.2", app="app",
+                   byte_class="origin", free_bytes=1)
+    assert journal.next_offset == 13
+    assert base_of_last <= 12
+    journal.close()
+
+
+def test_enospc_keeps_journal_consistent(tmp_path):
+    """A full disk surfaces as JournalFull; the partial append is undone
+    and a retry after 'freeing space' lands the same offset."""
+    directory = str(tmp_path)
+    faults = DiskFaultInjector(DiskFaultPlan(enospc_at=2))
+    journal = BillingJournal(directory, fsync="never", disk_faults=faults)
+    _fill(journal, 2)
+    with pytest.raises(JournalFull):
+        journal.append(operator="op-0", subscriber="10.5.0.2", app="app",
+                       byte_class="origin", free_bytes=7)
+    assert journal.stats_dict()["append_failures"] == 1
+    assert journal.next_offset == 2
+    retried = journal.append(operator="op-0", subscriber="10.5.0.2",
+                             app="app", byte_class="origin", free_bytes=7)
+    assert retried.offset == 2
+    journal.close()
+    reopened = BillingJournal(directory, fsync="never")
+    assert len(list(reopened.records())) == 3
+    assert reopened.recovery.torn_tail_truncated == 0
+    reopened.close()
+
+
+def test_torn_write_injection_then_recovery(tmp_path):
+    """A TornWrite mid-append (process about to die) leaves a tail the
+    next open truncates; the interrupted record was never acked so the
+    caller re-appends it — no loss, no double."""
+    directory = str(tmp_path)
+    faults = DiskFaultInjector(
+        DiskFaultPlan(torn_write_at=3, torn_write_bytes=FRAME_BYTES + 5)
+    )
+    journal = BillingJournal(directory, fsync="never", disk_faults=faults)
+    _fill(journal, 3)
+    with pytest.raises(TornWrite):
+        journal.append(operator="op-1", subscriber="10.5.1.2", app="app",
+                       byte_class="third_party", charged_bytes=999)
+    journal.close()
+    recovered = BillingJournal(directory, fsync="never")
+    assert recovered.recovery.torn_tail_truncated == 1
+    assert recovered.next_offset == 3
+    replayed = recovered.append(
+        operator="op-1", subscriber="10.5.1.2", app="app",
+        byte_class="third_party", charged_bytes=999,
+    )
+    assert replayed.offset == 3
+    report = reconcile(list(recovered.records()))
+    assert report.records_applied == 4
+    assert report.duplicates_skipped == 0
+    recovered.close()
+
+
+def test_corrupt_middle_segment_does_not_stop_later_segments(tmp_path):
+    """Destroyed framing in a NON-last segment quarantines that
+    segment's remainder but later segments still replay."""
+    directory = str(tmp_path)
+    journal = BillingJournal(directory, max_segment_bytes=256, fsync="never")
+    _fill(journal, 12)
+    journal.close()
+    paths = BillingJournal.segment_paths(directory)
+    assert len(paths) >= 3
+    # Shred the first segment's first frame with an insane length
+    # field: framing is destroyed, so the rest of THAT segment is
+    # quarantined — but only that segment.
+    with open(paths[0], "r+b") as handle:
+        handle.seek(HEADER_BYTES)
+        handle.write(b"\xff\xff\xff\xff")
+    records, stats = BillingJournal.read_directory(directory)
+    assert stats.corrupt_records >= 1
+    assert stats.torn_tail_truncated == 0  # not the last segment
+    offsets = [record.offset for record in records]
+    assert offsets[-1] == 11  # the tail segments survived
+    assert len(records) < 12

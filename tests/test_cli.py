@@ -172,3 +172,38 @@ class TestControlPlaneCommands:
         # Data-path telemetry still present alongside: one registry.
         assert any(k.startswith("switch.") or k.startswith("matcher.")
                    for k in snapshot["counters"])
+
+
+class TestBillingCommand:
+    def test_billing_runs_soak_and_drill(self, capsys):
+        assert main(["billing"]) == 0
+        out = capsys.readouterr().out
+        assert "billing soak" in out
+        assert "crash drill" in out
+        # The per-operator invoice table names all three catalogs.
+        for operator in ("op-cnn", "op-tube", "op-skai"):
+            assert operator in out
+        assert "VIOLATION" not in out
+
+    def test_billing_json(self, capsys):
+        import json
+
+        assert main(["billing", "--skip-drill", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["operators"]) == 3
+        for row in payload["operators"]:
+            assert row["total_bytes"] == row["delivered_bytes"]
+
+    def test_stats_billing_merges_accountant_telemetry(self, capsys):
+        import json
+
+        assert main(["stats", "--flows", "40", "--billing", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        counters = snapshot["counters"]
+        assert counters["billing.packets_accounted"] > 0
+        assert counters["billing.journal.records_appended"] > 0
+        assert counters["billing.journal.corrupt_records"] == 0
+        assert snapshot["gauges"]["billing.pending_bytes"] == 0
+        # Data-path telemetry still present alongside: one registry.
+        assert any(k.startswith("middlebox.") for k in counters)
